@@ -1,0 +1,200 @@
+#include "bench_common.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace upanns::bench {
+
+std::string Config::key() const {
+  std::ostringstream os;
+  os << data::family_name(family) << "/n=" << n << "/C=" << scaled_ivf
+     << "/seed=" << seed << "/pp=" << pattern_prob;
+  return os.str();
+}
+
+namespace {
+std::map<std::string, std::unique_ptr<Context>>& cache() {
+  static std::map<std::string, std::unique_ptr<Context>> c;
+  return c;
+}
+}  // namespace
+
+void clear_context_cache() { cache().clear(); }
+
+namespace {
+// (Re)compute the frequency statistics for the config's nprobe: placement
+// quality depends on the history being probed the same way the evaluation
+// will probe (paper Sec 4.1: f_i is the *historical* access frequency of
+// the live workload).
+void refresh_stats(Context& ctx, const Config& cfg) {
+  if (ctx.stats_nprobe == cfg.nprobe) return;
+  ctx.history = ivf::filter_batch(*ctx.index, ctx.history_workload.queries,
+                                  cfg.nprobe);
+  ctx.stats = ivf::collect_stats(*ctx.index, ctx.history);
+  ctx.stats_nprobe = cfg.nprobe;
+}
+}  // namespace
+
+Context& context_for(const Config& cfg) {
+  auto& c = cache();
+  const std::string key = cfg.key();
+  auto it = c.find(key);
+  if (it != c.end()) {
+    refresh_stats(*it->second, cfg);
+    return *it->second;
+  }
+
+  common::log_info("building context ", key);
+  auto ctx = std::make_unique<Context>();
+
+  data::SyntheticSpec spec;
+  spec.family = cfg.family;
+  spec.n = cfg.n;
+  spec.seed = cfg.seed;
+  spec.size_sigma = data::family_size_sigma(cfg.family);
+  spec.dense_core_frac = data::family_dense_core_frac(cfg.family);
+  if (cfg.pattern_prob >= 0) spec.pattern_prob = cfg.pattern_prob;
+  ctx->base = data::generate_synthetic(spec);
+
+  ivf::IvfBuildOptions build;
+  build.n_clusters = cfg.scaled_ivf;
+  build.pq_m = spec.pq_m();
+  build.coarse_iters = 8;
+  build.pq_iters = 8;
+  build.coarse_train_points = std::min<std::size_t>(cfg.n, 40'000);
+  build.pq_train_points = std::min<std::size_t>(cfg.n, 30'000);
+  build.seed = cfg.seed + 1;
+  ctx->index = std::make_unique<ivf::IvfIndex>(
+      ivf::IvfIndex::build(ctx->base, build));
+
+  data::WorkloadSpec wspec;
+  wspec.n_queries = cfg.n_queries;
+  wspec.seed = cfg.seed + 2;
+  ctx->workload = data::generate_workload(ctx->base, wspec);
+
+  // History: a separate (earlier) workload drives the frequency estimate so
+  // placement never sees the evaluation queries themselves.
+  data::WorkloadSpec hspec = wspec;
+  hspec.seed = cfg.seed + 3;
+  hspec.n_queries = std::max<std::size_t>(1024, 2 * cfg.n_queries);
+  ctx->history_workload = data::generate_workload(ctx->base, hspec);
+  refresh_stats(*ctx, cfg);
+
+  auto [pos, ok] = c.emplace(key, std::move(ctx));
+  (void)ok;
+  return *pos->second;
+}
+
+baselines::QueryWorkProfile paper_profile(
+    const Config& cfg, const baselines::QueryWorkProfile& measured) {
+  baselines::QueryWorkProfile p = measured;
+  const double f = cfg.data_factor();
+  p.total_candidates = static_cast<std::size_t>(
+      static_cast<double>(p.total_candidates) * f);
+  // Ordinary inverted lists scale with the per-list factor; a near-duplicate
+  // clump (DEEP1B-like) is a fixed *fraction* of the dataset — more coarse
+  // centroids cannot split identical points, so it stays frac * n at scale.
+  const double generic_max = static_cast<double>(p.max_cluster) * f;
+  const double clump_max =
+      data::family_dense_core_frac(cfg.family) * static_cast<double>(kPaperN);
+  p.max_cluster = static_cast<std::size_t>(std::max(generic_max, clump_max));
+  p.dataset_n = kPaperN;
+  p.n_clusters = cfg.paper_ivf;
+  return p;
+}
+
+baselines::StageTimes cpu_times_at_scale(const Config& cfg,
+                                         const baselines::CpuSearchResult& res) {
+  return baselines::CpuCostModel::stage_times(paper_profile(cfg, res.profile));
+}
+
+baselines::StageTimes gpu_times_at_scale(const Config& cfg,
+                                         const baselines::CpuSearchResult& res) {
+  return baselines::GpuModel::stage_times(paper_profile(cfg, res.profile));
+}
+
+baselines::GpuCapacity gpu_capacity_at_scale(
+    const Config& cfg, const baselines::CpuSearchResult& res) {
+  return baselines::GpuModel::capacity(paper_profile(cfg, res.profile));
+}
+
+core::PimSearchReport pim_at_scale(const Config& cfg,
+                                   const core::PimSearchReport& report) {
+  core::PimSearchReport r = report;
+  r.n_dpus = kPaperDpus;
+  return r.at_scale(cfg.data_factor(), cfg.dpu_factor());
+}
+
+double qps_of(const Config& cfg, const baselines::StageTimes& t) {
+  const double total = t.total();
+  return total > 0 ? static_cast<double>(cfg.n_queries) / total : 0;
+}
+
+core::UpAnnsOptions upanns_options(const Config& cfg) {
+  core::UpAnnsOptions o = core::UpAnnsOptions::upanns();
+  o.n_dpus = cfg.n_dpus;
+  o.nprobe = cfg.nprobe;
+  o.k = cfg.k;
+  return o;
+}
+
+core::UpAnnsOptions naive_options(const Config& cfg) {
+  core::UpAnnsOptions o = core::UpAnnsOptions::pim_naive();
+  o.n_dpus = cfg.n_dpus;
+  o.nprobe = cfg.nprobe;
+  o.k = cfg.k;
+  return o;
+}
+
+SystemRun run_cpu(const Config& cfg) {
+  Context& ctx = context_for(cfg);
+  baselines::CpuIvfpqSearcher searcher(*ctx.index);
+  baselines::SearchParams params;
+  params.nprobe = cfg.nprobe;
+  params.k = cfg.k;
+  const auto res = searcher.search(ctx.workload.queries, params);
+  SystemRun out;
+  out.times = cpu_times_at_scale(cfg, res);
+  out.qps = qps_of(cfg, out.times);
+  out.qps_per_watt = pim::qps_per_watt(out.qps, pim::Platform::kCpu);
+  return out;
+}
+
+SystemRun run_gpu(const Config& cfg) {
+  Context& ctx = context_for(cfg);
+  baselines::CpuIvfpqSearcher searcher(*ctx.index);
+  baselines::SearchParams params;
+  params.nprobe = cfg.nprobe;
+  params.k = cfg.k;
+  const auto res = searcher.search(ctx.workload.queries, params);
+  SystemRun out;
+  const auto cap = gpu_capacity_at_scale(cfg, res);
+  out.oom = !cap.fits;
+  out.times = gpu_times_at_scale(cfg, res);
+  out.qps = out.oom ? 0 : qps_of(cfg, out.times);
+  out.qps_per_watt = pim::qps_per_watt(out.qps, pim::Platform::kGpu);
+  return out;
+}
+
+SystemRun run_upanns(const Config& cfg,
+                     const core::UpAnnsOptions* override_opts) {
+  Context& ctx = context_for(cfg);
+  const core::UpAnnsOptions opts =
+      override_opts ? *override_opts : upanns_options(cfg);
+  core::UpAnnsEngine engine(*ctx.index, ctx.stats, opts);
+  const auto report = engine.search(ctx.workload.queries);
+  SystemRun out;
+  out.pim = pim_at_scale(cfg, report);
+  out.times = out.pim.times;
+  out.qps = out.pim.qps;
+  out.qps_per_watt = out.pim.qps_per_watt;
+  return out;
+}
+
+SystemRun run_pim_naive(const Config& cfg) {
+  const core::UpAnnsOptions opts = naive_options(cfg);
+  return run_upanns(cfg, &opts);
+}
+
+}  // namespace upanns::bench

@@ -1,0 +1,118 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Scaling methodology (see DESIGN.md §1 and EXPERIMENTS.md): each bench runs
+// the *functional* pipeline on a scaled dataset (10^5-ish points, |C| and
+// DPU count scaled by the same factor so clusters-per-DPU matches the paper)
+// and then extrapolates the distance-calculation stage linearly to the
+// paper's 1B-point / 7-DIMM configuration. LUT construction, top-k merging,
+// scheduling and transfers are scale-free (they depend on |Q|, nprobe, m, k)
+// and are reported as measured.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/cpu_cost_model.hpp"
+#include "baselines/cpu_ivfpq.hpp"
+#include "baselines/gpu_model.hpp"
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+#include "data/ground_truth.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "metrics/report.hpp"
+
+namespace upanns::bench {
+
+inline constexpr std::size_t kPaperN = 1'000'000'000;  ///< 1B points
+inline constexpr std::size_t kPaperDpus = 896;         ///< 7 DIMMs
+inline constexpr std::size_t kPaperBatch = 1000;
+
+/// A scaled stand-in for one paper configuration.
+struct Config {
+  data::DatasetFamily family = data::DatasetFamily::kSiftLike;
+  std::size_t n = 100'000;         ///< scaled dataset size
+  std::size_t paper_ivf = 4096;    ///< |C| as labeled in the paper
+  std::size_t scaled_ivf = 512;    ///< |C| actually trained
+  std::size_t n_dpus = 128;        ///< DPUs actually simulated
+  std::size_t n_queries = 128;     ///< batch actually searched
+  std::size_t nprobe = 64;
+  std::size_t k = 10;
+  std::uint64_t seed = 7;
+  /// Override the generator's subvector-pattern probability (drives the CAE
+  /// length-reduction rate, Fig 14). Negative = family default.
+  double pattern_prob = -1.0;
+
+  /// Per-list work multiplier taking a scaled list to its paper-sized
+  /// counterpart: (1B / paper_ivf) / (n / scaled_ivf).
+  double data_factor() const {
+    return (static_cast<double>(kPaperN) / static_cast<double>(paper_ivf)) /
+           (static_cast<double>(n) / static_cast<double>(scaled_ivf));
+  }
+  /// Distance work per DPU shrinks with more DPUs (Fig 20 linearity).
+  double dpu_factor() const {
+    return static_cast<double>(n_dpus) / static_cast<double>(kPaperDpus);
+  }
+  std::string key() const;
+};
+
+/// Built artifacts for one (family, n, scaled_ivf) triple; index builds are
+/// the expensive part, so benches share them through the cache below.
+struct Context {
+  data::Dataset base;
+  std::unique_ptr<ivf::IvfIndex> index;
+  data::QueryWorkload workload;
+  data::QueryWorkload history_workload;  ///< drives frequency estimation
+  ivf::ClusterStats stats;               ///< for `stats_nprobe`
+  std::vector<std::vector<std::uint32_t>> history;
+  std::size_t stats_nprobe = 0;
+};
+
+/// Build (or fetch from the in-process cache) the context for a config.
+Context& context_for(const Config& cfg);
+
+/// CPU / GPU stage times extrapolated to the paper scale.
+baselines::QueryWorkProfile paper_profile(const Config& cfg,
+                                          const baselines::QueryWorkProfile& measured);
+baselines::StageTimes cpu_times_at_scale(const Config& cfg,
+                                         const baselines::CpuSearchResult& res);
+baselines::StageTimes gpu_times_at_scale(const Config& cfg,
+                                         const baselines::CpuSearchResult& res);
+baselines::GpuCapacity gpu_capacity_at_scale(const Config& cfg,
+                                             const baselines::CpuSearchResult& res);
+
+/// PIM report extrapolated to paper scale (1B points, kPaperDpus DPUs).
+core::PimSearchReport pim_at_scale(const Config& cfg,
+                                   const core::PimSearchReport& report);
+
+/// QPS helpers (batch = the measured batch size).
+double qps_of(const Config& cfg, const baselines::StageTimes& t);
+
+/// Run one system on a config (probes shared so cluster filtering is
+/// computed once). Returns at-scale numbers.
+struct SystemRun {
+  double qps = 0;
+  double qps_per_watt = 0;
+  baselines::StageTimes times;  ///< at paper scale
+  double recall = 0;            ///< only filled when ground truth is passed
+  core::PimSearchReport pim;    ///< valid for PIM systems only
+  bool oom = false;             ///< GPU capacity check failed
+};
+
+SystemRun run_cpu(const Config& cfg);
+SystemRun run_gpu(const Config& cfg);
+SystemRun run_upanns(const Config& cfg,
+                     const core::UpAnnsOptions* override_opts = nullptr);
+SystemRun run_pim_naive(const Config& cfg);
+
+/// Default UpANNS options for a config.
+core::UpAnnsOptions upanns_options(const Config& cfg);
+core::UpAnnsOptions naive_options(const Config& cfg);
+
+/// Clear the context cache (benches with many families call this to bound
+/// memory).
+void clear_context_cache();
+
+}  // namespace upanns::bench

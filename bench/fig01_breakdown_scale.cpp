@@ -1,0 +1,42 @@
+// Figure 1: IVFPQ query-time breakdown on the CPU platform as the dataset
+// scales 1M -> 100M -> 1B (SIFT, |C|=4096, nprobe=32, M=32 as in the paper's
+// motivating figure). Expected shape: LUT construction dominates at 1M; the
+// memory-bound distance-calculation stage dominates at 100M and 1B.
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+int main() {
+  metrics::banner("Figure 1",
+                  "CPU IVFPQ stage breakdown vs dataset scale (% of time)");
+  metrics::Table table({"scale", "cluster_filter%", "LUT%", "distance%",
+                        "topk%", "total_s_per_1000q"});
+  for (const std::size_t n :
+       {std::size_t{1'000'000}, std::size_t{100'000'000},
+        std::size_t{1'000'000'000}}) {
+    baselines::QueryWorkProfile p;
+    p.n_queries = 1000;
+    p.n_clusters = 4096;
+    p.nprobe = 32;
+    p.dim = 128;
+    p.m = 32;
+    p.k = 10;
+    p.dataset_n = n;
+    p.total_candidates = p.n_queries * p.nprobe * (n / p.n_clusters);
+    p.max_cluster = 6 * (n / p.n_clusters);
+    const auto t = baselines::CpuCostModel::stage_times(p);
+    const auto s = metrics::shares(t);
+    const std::string label = n == 1'000'000     ? "1M"
+                              : n == 100'000'000 ? "100M"
+                                                 : "1B";
+    table.add_row({label, metrics::Table::fmt(s.cluster_filter, 1),
+                   metrics::Table::fmt(s.lut_build, 1),
+                   metrics::Table::fmt(s.distance_calc, 1),
+                   metrics::Table::fmt(s.topk, 1),
+                   metrics::Table::fmt(t.total(), 3)});
+  }
+  table.print();
+  std::printf("\nPaper shape: LUT-bound at 1M; distance-bound at 100M/1B.\n");
+  return 0;
+}

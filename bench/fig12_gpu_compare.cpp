@@ -1,0 +1,69 @@
+// Figure 12: (a) QPS and (b) QPS/W of Faiss-GPU vs UpANNS, normalized to
+// Faiss-GPU at (IVF=4096, nprobe=256) per dataset — nprobe=64 for DEEP1B
+// because the other settings OOM (blue 'X' in the paper). Expected shape:
+// UpANNS QPS comparable to the GPU; ~2x higher QPS/W.
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+int main() {
+  metrics::banner("Figure 12",
+                  "Faiss-GPU vs UpANNS: QPS and QPS/W (normalized)");
+  for (const auto family : {data::DatasetFamily::kDeepLike,
+                            data::DatasetFamily::kSiftLike,
+                            data::DatasetFamily::kSpacevLike}) {
+    struct Cell {
+      std::size_t ivf, nprobe;
+      SystemRun gpu, up;
+    };
+    std::vector<Cell> cells;
+    double gpu_base = 0;
+    const std::size_t base_nprobe =
+        family == data::DatasetFamily::kDeepLike ? 64 : 256;
+
+    for (const std::size_t ivf :
+         {std::size_t{4096}, std::size_t{8192}, std::size_t{16384}}) {
+      Config cfg;
+      cfg.family = family;
+      cfg.paper_ivf = ivf;
+      cfg.scaled_ivf = 256;
+      cfg.n = 200'000;
+      cfg.n_dpus = 64;
+      cfg.n_queries = 256;
+      for (const std::size_t nprobe :
+           {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+        cfg.nprobe = nprobe;
+        Cell c{ivf, nprobe, run_gpu(cfg), run_upanns(cfg)};
+        if (ivf == 4096 && nprobe == base_nprobe && !c.gpu.oom) {
+          gpu_base = c.gpu.qps;
+        }
+        cells.push_back(std::move(c));
+      }
+    }
+
+    metrics::Table table({"dataset", "IVF", "nprobe", "GPU_QPS", "UpANNS_QPS",
+                          "GPU_QPS/W", "UpANNS_QPS/W", "QPS/W_ratio"});
+    double gpu_base_w =
+        gpu_base > 0 ? pim::qps_per_watt(gpu_base, pim::Platform::kGpu) : 1;
+    for (const Cell& c : cells) {
+      table.add_row(
+          {data::family_name(family), std::to_string(c.ivf),
+           std::to_string(c.nprobe),
+           c.gpu.oom ? "X (OOM)" : metrics::Table::fmt(c.gpu.qps / gpu_base, 2),
+           metrics::Table::fmt(c.up.qps / gpu_base, 2),
+           c.gpu.oom ? "X"
+                     : metrics::Table::fmt(c.gpu.qps_per_watt / gpu_base_w, 2),
+           metrics::Table::fmt(c.up.qps_per_watt / gpu_base_w, 2),
+           c.gpu.oom ? "-"
+                     : metrics::Table::fmt(
+                           c.up.qps_per_watt / c.gpu.qps_per_watt, 2)});
+    }
+    table.print();
+    std::printf("\n");
+    clear_context_cache();
+  }
+  std::printf("Paper shape: UpANNS ~GPU QPS; ~2x QPS/W; DEEP1B GPU OOM "
+              "beyond nprobe=64.\n");
+  return 0;
+}

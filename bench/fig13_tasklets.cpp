@@ -1,0 +1,39 @@
+// Figure 13: UpANNS QPS as the number of tasklets per DPU grows from 1 to
+// 24, normalized to 1 tasklet. Expected shape: near-linear scaling up to 11
+// tasklets (the 14-stage pipeline's saturation point), flat beyond.
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+int main() {
+  metrics::banner("Figure 13", "QPS vs #tasklets (normalized to 1 tasklet)");
+  metrics::Table table({"dataset", "tasklets", "norm_QPS"});
+  for (const auto family : {data::DatasetFamily::kDeepLike,
+                            data::DatasetFamily::kSiftLike,
+                            data::DatasetFamily::kSpacevLike}) {
+    Config cfg;
+    cfg.family = family;
+    cfg.n = 200'000;
+    cfg.scaled_ivf = 64;  // ~3k-point lists: chunk granularity negligible
+    cfg.paper_ivf = 4096;
+    cfg.n_dpus = 16;
+    cfg.n_queries = 64;
+    cfg.nprobe = 16;
+
+    double base = 0;
+    for (const unsigned t : {1u, 2u, 4u, 8u, 11u, 16u, 20u, 24u}) {
+      core::UpAnnsOptions opts = upanns_options(cfg);
+      opts.n_tasklets = t;
+      const SystemRun run = run_upanns(cfg, &opts);
+      if (t == 1) base = run.qps;
+      table.add_row({data::family_name(family), std::to_string(t),
+                     metrics::Table::fmt(run.qps / base, 2)});
+    }
+    clear_context_cache();
+  }
+  table.print();
+  std::printf("\nPaper shape: ~11x at 11 tasklets, saturated beyond "
+              "(pipeline full).\n");
+  return 0;
+}

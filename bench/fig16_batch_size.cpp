@@ -1,0 +1,39 @@
+// Figure 16: per-query latency vs batch size (10 / 100 / 1000) for
+// Faiss-CPU, PIM-naive and UpANNS. Expected shape: UpANNS lowest latency at
+// every batch size, with its advantage growing as pre/post-processing
+// overheads amortize over larger batches.
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+int main() {
+  metrics::banner("Figure 16", "Query latency vs batch size (SIFT1B-like)");
+  metrics::Table table({"batch", "CPU_ms_per_q", "naive_ms_per_q",
+                        "UpANNS_ms_per_q", "UpANNS_speedup_vs_CPU"});
+  for (const std::size_t batch : {std::size_t{10}, std::size_t{100},
+                                  std::size_t{1000}}) {
+    Config cfg;
+    cfg.family = data::DatasetFamily::kSiftLike;
+    cfg.n = 150'000;
+    cfg.scaled_ivf = 256;
+    cfg.paper_ivf = 4096;
+    cfg.n_dpus = 64;
+    cfg.n_queries = batch;
+    cfg.nprobe = 64;
+    const SystemRun cpu = run_cpu(cfg);
+    const SystemRun naive = run_pim_naive(cfg);
+    const SystemRun up = run_upanns(cfg);
+    const double nq = static_cast<double>(batch);
+    table.add_row({std::to_string(batch),
+                   metrics::Table::fmt(cpu.times.total() / nq * 1e3, 3),
+                   metrics::Table::fmt(naive.times.total() / nq * 1e3, 3),
+                   metrics::Table::fmt(up.times.total() / nq * 1e3, 3),
+                   metrics::Table::fmt(cpu.times.total() / up.times.total(), 2)});
+    clear_context_cache();
+  }
+  table.print();
+  std::printf("\nPaper shape: UpANNS lowest latency; speedup grows with "
+              "batch size as overheads amortize.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 18: QPS vs requested top-k (1..100) for Faiss-CPU, Faiss-GPU and
+// UpANNS, normalized to Faiss-CPU at top-100. Expected shape: UpANNS ~2.5x
+// CPU and ~1.6x GPU on average; CPU flat across k; UpANNS and GPU degrade
+// slightly as k grows (result-transfer / sync overheads).
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+int main() {
+  metrics::banner("Figure 18", "QPS vs top-k size (normalized to CPU@k=100)");
+  metrics::Table table({"dataset", "k", "CPU", "GPU", "UpANNS",
+                        "UpANNS/CPU", "UpANNS/GPU"});
+  for (const auto family : {data::DatasetFamily::kSiftLike,
+                            data::DatasetFamily::kSpacevLike}) {
+    struct Cell {
+      std::size_t k;
+      double cpu, gpu, up;
+    };
+    std::vector<Cell> cells;
+    double cpu_base = 0;
+    Config cfg;
+    cfg.family = family;
+    cfg.n = 150'000;
+    cfg.scaled_ivf = 256;
+    cfg.paper_ivf = 4096;
+    cfg.n_dpus = 64;
+    cfg.n_queries = 128;
+    cfg.nprobe = 64;
+    for (const std::size_t k : {std::size_t{1}, std::size_t{10},
+                                std::size_t{50}, std::size_t{100}}) {
+      cfg.k = k;
+      const SystemRun cpu = run_cpu(cfg);
+      const SystemRun gpu = run_gpu(cfg);
+      const SystemRun up = run_upanns(cfg);
+      cells.push_back({k, cpu.qps, gpu.qps, up.qps});
+      if (k == 100) cpu_base = cpu.qps;
+    }
+    for (const Cell& c : cells) {
+      table.add_row({data::family_name(family), std::to_string(c.k),
+                     metrics::Table::fmt(c.cpu / cpu_base, 2),
+                     metrics::Table::fmt(c.gpu / cpu_base, 2),
+                     metrics::Table::fmt(c.up / cpu_base, 2),
+                     metrics::Table::fmt(c.up / c.cpu, 2),
+                     metrics::Table::fmt(c.up / c.gpu, 2)});
+    }
+    clear_context_cache();
+  }
+  table.print();
+  std::printf("\nPaper shape: CPU flat in k; UpANNS/GPU degrade slightly; "
+              "UpANNS ~2.5x CPU, ~1.6x GPU on average.\n");
+  return 0;
+}

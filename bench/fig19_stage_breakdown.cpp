@@ -1,0 +1,56 @@
+// Figure 19: query processing time breakdown per stage for Faiss-CPU,
+// Faiss-GPU and UpANNS, per dataset, at k = 10 and k = 100. Expected shape:
+// CPU ~99.5% distance calculation; GPU dominated by top-k (>76%, growing
+// with k); UpANNS distance share 75-80% with top-k growing from ~9% to ~17%
+// as k rises.
+#include "bench_common.hpp"
+
+using namespace upanns;
+using namespace upanns::bench;
+
+namespace {
+
+void add_row(metrics::Table& t, const char* dataset, const char* system,
+             std::size_t k, const baselines::StageTimes& times) {
+  const auto s = metrics::shares(times);
+  t.add_row({dataset, system, std::to_string(k),
+             metrics::Table::fmt(s.cluster_filter, 1),
+             metrics::Table::fmt(s.lut_build, 1),
+             metrics::Table::fmt(s.distance_calc, 1),
+             metrics::Table::fmt(s.topk, 1),
+             metrics::Table::fmt(s.transfer, 1)});
+}
+
+}  // namespace
+
+int main() {
+  metrics::banner("Figure 19", "Stage breakdown (% of query time)");
+  metrics::Table table({"dataset", "system", "k", "filter%", "LUT%",
+                        "distance%", "topk%", "transfer%"});
+  for (const auto family : {data::DatasetFamily::kDeepLike,
+                            data::DatasetFamily::kSiftLike,
+                            data::DatasetFamily::kSpacevLike}) {
+    Config cfg;
+    cfg.family = family;
+    cfg.n = 150'000;
+    cfg.scaled_ivf = 256;
+    cfg.paper_ivf = 4096;
+    cfg.n_dpus = 64;
+    cfg.n_queries = 128;
+    cfg.nprobe = 64;
+    for (const std::size_t k : {std::size_t{10}, std::size_t{100}}) {
+      cfg.k = k;
+      add_row(table, data::family_name(family), "Faiss-CPU", k,
+              run_cpu(cfg).times);
+      add_row(table, data::family_name(family), "Faiss-GPU", k,
+              run_gpu(cfg).times);
+      add_row(table, data::family_name(family), "UpANNS", k,
+              run_upanns(cfg).times);
+    }
+    clear_context_cache();
+  }
+  table.print();
+  std::printf("\nPaper shape: CPU ~99.5%% distance; GPU topk 76-89%%; UpANNS "
+              "distance 75-80%%, topk 9-17%% as k grows.\n");
+  return 0;
+}

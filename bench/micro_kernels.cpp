@@ -1,0 +1,214 @@
+// google-benchmark micro-benchmarks for the host-side hot kernels: LUT
+// construction, ADC scans, heap maintenance, CAE encoding, placement and
+// scheduling. These measure the *simulator's* host cost (how fast we can
+// evaluate the model), complementing the simulated-time figure benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/topk.hpp"
+#include "core/cae.hpp"
+#include "core/placement.hpp"
+#include "core/scheduler.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "pim/cost_model.hpp"
+#include "quant/pq.hpp"
+
+namespace {
+
+using namespace upanns;
+
+std::vector<float> random_vecs(std::size_t n, std::size_t dim,
+                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> v(n * dim);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return v;
+}
+
+const quant::ProductQuantizer& shared_pq() {
+  static const quant::ProductQuantizer pq = [] {
+    quant::ProductQuantizer p;
+    quant::PqOptions opts;
+    opts.m = 16;
+    opts.train_iters = 4;
+    const auto data = random_vecs(4000, 128, 1);
+    p.train(data, 4000, 128, opts);
+    return p;
+  }();
+  return pq;
+}
+
+void BM_PqEncode(benchmark::State& state) {
+  const auto& pq = shared_pq();
+  const auto vecs = random_vecs(256, 128, 2);
+  std::vector<std::uint8_t> codes(16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pq.encode(vecs.data() + (i++ % 256) * 128, codes.data());
+    benchmark::DoNotOptimize(codes);
+  }
+}
+BENCHMARK(BM_PqEncode);
+
+void BM_LutBuild(benchmark::State& state) {
+  const auto& pq = shared_pq();
+  const auto q = random_vecs(1, 128, 3);
+  std::vector<float> lut(16 * 256);
+  for (auto _ : state) {
+    pq.compute_lut(q.data(), lut.data());
+    benchmark::DoNotOptimize(lut);
+  }
+}
+BENCHMARK(BM_LutBuild);
+
+void BM_AdcScan(benchmark::State& state) {
+  const auto& pq = shared_pq();
+  const auto q = random_vecs(1, 128, 4);
+  std::vector<float> lut(16 * 256);
+  pq.compute_lut(q.data(), lut.data());
+  common::Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> codes(n * 16);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    float acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += pq.adc_distance(lut.data(), codes.data() + i * 16);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AdcScan)->Arg(256)->Arg(4096);
+
+void BM_QuantizedAdcScan(benchmark::State& state) {
+  const auto& pq = shared_pq();
+  const auto q = random_vecs(1, 128, 6);
+  std::vector<float> lut(16 * 256);
+  pq.compute_lut(q.data(), lut.data());
+  const quant::QuantizedLut qlut = pq.quantize_lut(lut);
+  common::Rng rng(7);
+  const std::size_t n = 4096;
+  std::vector<std::uint8_t> codes(n * 16);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += pq.adc_distance_q(qlut, codes.data() + i * 16);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizedAdcScan);
+
+void BM_HeapPush(benchmark::State& state) {
+  common::Rng rng(8);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<float> dists(65536);
+  for (auto& d : dists) d = rng.uniform(0.f, 1.f);
+  for (auto _ : state) {
+    common::BoundedMaxHeap heap(k);
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+      heap.push(dists[i], static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(heap);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dists.size()));
+}
+BENCHMARK(BM_HeapPush)->Arg(10)->Arg(100);
+
+ivf::InvertedList patterned_list(std::size_t n) {
+  common::Rng rng(9);
+  ivf::InvertedList list;
+  for (std::size_t i = 0; i < n; ++i) {
+    list.ids.push_back(static_cast<std::uint32_t>(i));
+    for (std::size_t s = 0; s < 16; ++s) {
+      // ~50% of rows share a triplet at positions 0-2.
+      const bool pattern = s < 3 && i % 2 == 0;
+      list.codes.push_back(pattern ? static_cast<std::uint8_t>(s + 1)
+                                   : static_cast<std::uint8_t>(rng.below(256)));
+    }
+  }
+  return list;
+}
+
+void BM_CaeEncode(benchmark::State& state) {
+  const auto list = patterned_list(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto enc = core::cae_encode_cluster(list, 16, core::CaeOptions{});
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaeEncode)->Arg(1024)->Arg(8192);
+
+void BM_MramLatencyModel(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t b = 8; b <= 2048; b += 8) {
+      acc += pim::DpuCostModel::mram_dma_cycles(b);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MramLatencyModel);
+
+struct PlacementFixtureData {
+  data::Dataset base;
+  ivf::IvfIndex index;
+  ivf::ClusterStats stats;
+  std::vector<std::vector<std::uint32_t>> probes;
+};
+
+const PlacementFixtureData& placement_fixture() {
+  static const PlacementFixtureData f = [] {
+    auto base = data::generate_synthetic(data::sift1b_like(30000, 10));
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 128;
+    opts.pq_m = 16;
+    opts.coarse_iters = 5;
+    opts.pq_iters = 3;
+    auto index = ivf::IvfIndex::build(base, opts);
+    data::WorkloadSpec spec;
+    spec.n_queries = 256;
+    auto wl = data::generate_workload(base, spec);
+    auto probes = ivf::filter_batch(index, wl.queries, 32);
+    auto stats = ivf::collect_stats(index, probes);
+    return PlacementFixtureData{std::move(base), std::move(index),
+                                std::move(stats), std::move(probes)};
+  }();
+  return f;
+}
+
+void BM_PlacementAlgorithm1(benchmark::State& state) {
+  const auto& f = placement_fixture();
+  core::PlacementOptions opts;
+  opts.n_dpus = 64;
+  for (auto _ : state) {
+    auto p = core::place_clusters(f.index, f.stats, opts);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PlacementAlgorithm1);
+
+void BM_SchedulingAlgorithm2(benchmark::State& state) {
+  const auto& f = placement_fixture();
+  core::PlacementOptions opts;
+  opts.n_dpus = 64;
+  const auto placement = core::place_clusters(f.index, f.stats, opts);
+  const auto sizes = f.index.list_sizes();
+  for (auto _ : state) {
+    auto s = core::schedule_queries(f.probes, placement, sizes);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.probes.size()));
+}
+BENCHMARK(BM_SchedulingAlgorithm2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table 1: specifications of the evaluated hardware platforms.
+#include "bench_common.hpp"
+#include "pim/energy.hpp"
+
+using namespace upanns;
+
+int main() {
+  metrics::banner("Table 1", "Evaluated hardware architectures");
+  metrics::Table table({"hardware", "configuration", "price_USD",
+                        "memory_GB", "peak_power_W", "bandwidth_GBps"});
+  table.add_row({"CPU", "2x Xeon Silver 4110 + 4x DDR4",
+                 metrics::Table::fmt(hw::kCpuPriceUsd, 0),
+                 metrics::Table::fmt(hw::kCpuMemCapacity / 1e9, 0),
+                 metrics::Table::fmt(hw::kCpuPeakPowerW, 0),
+                 metrics::Table::fmt(hw::kCpuMemBandwidth / 1e9, 1)});
+  table.add_row({"GPU", "NVIDIA A100 PCIe 80GB",
+                 metrics::Table::fmt(hw::kGpuPriceUsd, 0),
+                 metrics::Table::fmt(hw::kGpuMemCapacity / 1e9, 0),
+                 metrics::Table::fmt(hw::kGpuPeakPowerW, 0),
+                 metrics::Table::fmt(hw::kGpuMemBandwidth / 1e9, 0)});
+  const std::size_t dpus = hw::kDefaultDpus;
+  table.add_row({"PIM", "7x UPMEM DIMM (896 DPUs)",
+                 metrics::Table::fmt(
+                     pim::platform_price_usd(pim::Platform::kPim, dpus), 0),
+                 metrics::Table::fmt(
+                     static_cast<double>(dpus) * hw::kMramBytes / 1e9, 0),
+                 metrics::Table::fmt(
+                     pim::platform_power_w(pim::Platform::kPim, dpus), 1),
+                 // Aggregated MRAM bandwidth: ~0.68 GB/s effective streaming
+                 // per DPU (1 byte per 1.46 cycles incl. setup) x 896.
+                 metrics::Table::fmt(
+                     static_cast<double>(dpus) * hw::kDpuFreqHz /
+                         (hw::kMramCyclesPerByte +
+                          hw::kMramSetupCycles / 2048.0) / 1e9, 1)});
+  table.print();
+  std::printf("\nPer-DPU: %.0f MHz, %zu tasklets, %zu MB MRAM, %zu KB WRAM, "
+              "%u-stage pipeline\n",
+              hw::kDpuFreqHz / 1e6, static_cast<std::size_t>(hw::kMaxTasklets),
+              hw::kMramBytes >> 20, hw::kWramBytes >> 10, hw::kPipelineStages);
+  return 0;
+}

@@ -1,0 +1,183 @@
+// upanns_cli — a small command-line front end over the library, the way a
+// downstream user would drive it without writing C++:
+//
+//   upanns_cli gen    --family sift --n 50000 --out base.fvecs
+//   upanns_cli build  --data base.fvecs --clusters 128 --m 16 --out index.bin
+//   upanns_cli tune   --index index.bin --data base.fvecs --recall 0.8
+//   upanns_cli search --index index.bin --data base.fvecs --nprobe 16 \
+//                     --queries 64 --k 10 --dpus 128
+//
+// `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
+// substituted for the synthetic data at any step.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/tuner.hpp"
+#include "data/ground_truth.hpp"
+#include "data/io.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "metrics/report.hpp"
+
+using namespace upanns;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) break;
+      a.kv[argv[i] + 2] = argv[i + 1];
+    }
+    return a;
+  }
+  std::string str(const std::string& key, const std::string& dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::size_t num(const std::string& key, std::size_t dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double real(const std::string& key, double dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+data::DatasetFamily family_of(const std::string& name) {
+  if (name == "deep") return data::DatasetFamily::kDeepLike;
+  if (name == "spacev") return data::DatasetFamily::kSpacevLike;
+  return data::DatasetFamily::kSiftLike;
+}
+
+int cmd_gen(const Args& a) {
+  const auto family = family_of(a.str("family", "sift"));
+  data::SyntheticSpec spec;
+  spec.family = family;
+  spec.n = a.num("n", 50'000);
+  spec.seed = a.num("seed", 7);
+  spec.size_sigma = data::family_size_sigma(family);
+  spec.dense_core_frac = data::family_dense_core_frac(family);
+  const data::Dataset ds = data::generate_synthetic(spec);
+  const std::string out = a.str("out", "base.fvecs");
+  data::write_fvecs(out, ds);
+  std::printf("wrote %zu x %zu-d %s vectors to %s\n", ds.n, ds.dim,
+              data::family_name(family), out.c_str());
+  return 0;
+}
+
+int cmd_build(const Args& a) {
+  const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
+  ivf::IvfBuildOptions opts;
+  opts.n_clusters = a.num("clusters", 128);
+  opts.pq_m = a.num("m", ds.dim % 16 == 0 ? 16 : ds.dim % 12 == 0 ? 12 : 20);
+  opts.seed = a.num("seed", 2024);
+  const ivf::IvfIndex index = ivf::IvfIndex::build(ds, opts);
+  const std::string out = a.str("out", "index.bin");
+  index.save(out);
+  std::printf("built IVF%zu,PQ%zu over %zu vectors -> %s\n",
+              index.n_clusters(), index.pq_m(), index.n_points(), out.c_str());
+  return 0;
+}
+
+int cmd_tune(const Args& a) {
+  const ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
+  const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
+  data::WorkloadSpec wspec;
+  wspec.n_queries = a.num("queries", 32);
+  wspec.seed = a.num("seed", 99);
+  const auto wl = data::generate_workload(ds, wspec);
+  core::TuneOptions topts;
+  topts.target_recall = a.real("recall", 0.9);
+  topts.k = a.num("k", 10);
+  const auto gt = data::exact_topk(ds, wl.queries, topts.k);
+  const auto result = core::tune_nprobe(index, wl.queries, gt, topts);
+  metrics::Table table({"nprobe", "recall@" + std::to_string(topts.k)});
+  for (const auto& [nprobe, recall] : result.curve) {
+    table.add_row({std::to_string(nprobe), metrics::Table::fmt(recall, 3)});
+  }
+  table.print();
+  if (result.target_met) {
+    std::printf("target %.2f met at nprobe=%zu (recall %.3f)\n",
+                topts.target_recall, result.nprobe, result.recall);
+  } else {
+    std::printf("target %.2f NOT reachable; best %.3f at nprobe=%zu\n",
+                topts.target_recall, result.recall, result.nprobe);
+  }
+  return result.target_met ? 0 : 2;
+}
+
+int cmd_search(const Args& a) {
+  const ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
+  const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
+  data::WorkloadSpec wspec;
+  wspec.n_queries = a.num("queries", 64);
+  wspec.seed = a.num("seed", 5);
+  const auto wl = data::generate_workload(ds, wspec);
+
+  const std::size_t nprobe = a.num("nprobe", 16);
+  data::WorkloadSpec hist = wspec;
+  hist.seed = wspec.seed + 1;
+  hist.n_queries = 4 * wspec.n_queries;
+  const auto hw_wl = data::generate_workload(ds, hist);
+  const auto stats = ivf::collect_stats(
+      index, ivf::filter_batch(index, hw_wl.queries, nprobe));
+
+  core::UpAnnsOptions opts = core::UpAnnsOptions::upanns();
+  opts.n_dpus = a.num("dpus", 128);
+  opts.n_tasklets = static_cast<unsigned>(a.num("tasklets", 11));
+  opts.nprobe = nprobe;
+  opts.k = a.num("k", 10);
+  core::UpAnnsEngine engine(index, stats, opts);
+  const auto r = engine.search(wl.queries);
+
+  const auto gt = data::exact_topk(ds, wl.queries, opts.k);
+  const auto shares = metrics::shares(r.times);
+  std::printf("queries=%zu dpus=%zu tasklets=%u nprobe=%zu k=%zu\n",
+              wl.queries.n, opts.n_dpus, opts.n_tasklets, nprobe, opts.k);
+  std::printf("simulated QPS=%.1f QPS/W=%.2f recall@%zu=%.3f\n", r.qps,
+              r.qps_per_watt, opts.k,
+              data::recall_at_k(gt, r.neighbors, opts.k));
+  std::printf("stages: LUT %.1f%%, distance %.1f%%, topk %.1f%%, "
+              "transfer %.1f%%; balance %.2f; CAE reduction %.1f%%\n",
+              shares.lut_build, shares.distance_calc, shares.topk,
+              shares.transfer, r.schedule_balance,
+              r.length_reduction * 100.0);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: upanns_cli <gen|build|tune|search> [--key value ...]\n"
+               "  gen    --family sift|deep|spacev --n N --out F.fvecs\n"
+               "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
+               "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
+               "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "search") return cmd_search(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  return usage();
+}

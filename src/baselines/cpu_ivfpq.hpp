@@ -1,0 +1,54 @@
+// "Faiss-CPU" baseline: a functional multithreaded IVFPQ query pipeline over
+// our IvfIndex. Results are exact IVFPQ/ADC results (used as the accuracy
+// reference for the PIM paths); reported times come from CpuCostModel so the
+// comparison against the PIM simulator lives in one time domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/cpu_cost_model.hpp"
+#include "common/topk.hpp"
+#include "data/dataset.hpp"
+#include "ivf/ivf_index.hpp"
+
+namespace upanns::baselines {
+
+struct SearchParams {
+  std::size_t nprobe = 32;
+  std::size_t k = 10;
+};
+
+struct CpuSearchResult {
+  std::vector<std::vector<common::Neighbor>> neighbors;  ///< per query, ascending
+  QueryWorkProfile profile;
+  StageTimes times;
+
+  double qps() const {
+    const double t = times.total();
+    return t > 0 ? static_cast<double>(profile.n_queries) / t : 0;
+  }
+};
+
+class CpuIvfpqSearcher {
+ public:
+  explicit CpuIvfpqSearcher(const ivf::IvfIndex& index) : index_(index) {}
+
+  /// Search a query batch. Host threads parallelize over queries.
+  CpuSearchResult search(const data::Dataset& queries,
+                         const SearchParams& params) const;
+
+  /// Search using precomputed probe lists (lets callers share one cluster-
+  /// filtering pass across architecture baselines).
+  CpuSearchResult search_with_probes(
+      const data::Dataset& queries,
+      const std::vector<std::vector<std::uint32_t>>& probes,
+      const SearchParams& params) const;
+
+  const ivf::IvfIndex& index() const { return index_; }
+
+ private:
+  const ivf::IvfIndex& index_;
+};
+
+}  // namespace upanns::baselines

@@ -1,0 +1,67 @@
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hw_specs.hpp"
+
+namespace upanns::baselines {
+
+StageTimes GpuModel::stage_times(const QueryWorkProfile& p) {
+  StageTimes t;
+  const double nq = static_cast<double>(p.n_queries);
+
+  // (a) Cluster filtering: a dense nq x |C| GEMM — compute-bound, trivial.
+  {
+    const double flops = nq * static_cast<double>(p.n_clusters) *
+                         static_cast<double>(p.dim) * 2.0;
+    t.cluster_filter = flops / hw::kGpuFlops + hw::kGpuSyncLatency;
+  }
+
+  // (b) LUT construction: nprobe x 256 x dim x 2 flops per query, massively
+  // parallel.
+  {
+    const double flops = nq * static_cast<double>(p.nprobe) * 256.0 *
+                         static_cast<double>(p.dim) * 2.0;
+    t.lut_build = flops / hw::kGpuFlops + hw::kGpuSyncLatency;
+  }
+
+  // (c) Distance calculation: stream candidate codes at HBM bandwidth. The
+  // written distance array (f32 per candidate) also crosses HBM.
+  {
+    const double bytes =
+        static_cast<double>(p.total_candidates) *
+        (static_cast<double>(p.m) + 4.0 /*dist write*/);
+    t.distance_calc = bytes / hw::kGpuMemBandwidth + hw::kGpuSyncLatency;
+  }
+
+  // (d) Top-k selection: the low-parallelism stage. Faiss's warp-select
+  // reads every candidate distance back (HBM) but sustains far below peak
+  // because the merge network serializes, and each query tile ends with a
+  // stream synchronization; cost also grows with k (Fig 18).
+  {
+    const double cand = static_cast<double>(p.total_candidates);
+    const double select_time = cand / hw::kGpuTopkCandidatesPerSec;
+    const double k_time = nq * static_cast<double>(p.k) * hw::kGpuTopkPerKCost;
+    // One sync per query tile of ~256 queries.
+    const double syncs = std::ceil(nq / 256.0) * hw::kGpuSyncLatency * 8.0;
+    t.topk = select_time + k_time + syncs;
+  }
+  return t;
+}
+
+GpuCapacity GpuModel::capacity(const QueryWorkProfile& p) {
+  GpuCapacity c;
+  // Codes + 8-byte ids + coarse centroids + codebooks.
+  c.index_bytes =
+      static_cast<double>(p.dataset_n) * (static_cast<double>(p.m) + 8.0) +
+      static_cast<double>(p.n_clusters) * static_cast<double>(p.dim) * 4.0 +
+      static_cast<double>(p.m) * 256.0 * 4.0;
+  c.workspace_bytes = kMinQueryTile * static_cast<double>(p.nprobe) *
+                      static_cast<double>(p.max_cluster) *
+                      kWorkspaceBytesPerCandidate;
+  c.fits = c.demand() <= hw::kGpuMemCapacity;
+  return c;
+}
+
+}  // namespace upanns::baselines

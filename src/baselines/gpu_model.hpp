@@ -1,0 +1,42 @@
+// "Faiss-GPU" analytical model of IVFPQ on an A100-80GB (see DESIGN.md §1 for
+// the substitution rationale). Three behaviours from the paper are modeled:
+//   1. the distance stage is HBM-bandwidth-bound and therefore fast;
+//   2. the top-k (k-selection) stage has limited parallelism and per-kernel
+//      CUDA synchronization, consuming 64-89% of runtime and growing with k
+//      (Fig 18/19);
+//   3. an 80 GB capacity check: the index plus per-probe scan workspace must
+//      fit device memory; billion-scale DEEP1B configurations beyond
+//      nprobe=64 exceed it (the blue 'X' marks of Fig 12).
+#pragma once
+
+#include "baselines/stage_times.hpp"
+
+namespace upanns::baselines {
+
+struct GpuCapacity {
+  bool fits = true;
+  double index_bytes = 0;
+  double workspace_bytes = 0;
+
+  double demand() const { return index_bytes + workspace_bytes; }
+};
+
+class GpuModel {
+ public:
+  static StageTimes stage_times(const QueryWorkProfile& p);
+
+  /// Device-memory demand for a configuration. The scan workspace is the
+  /// per-(query, probe) distance buffer sized by the largest inverted list
+  /// (`p.max_cluster`); query batches are tiled, and kMinQueryTile is the
+  /// smallest tile the scan shrinks to before reporting OOM. With the
+  /// measured DEEP1B-like near-duplicate skew (max list ~4% of n) this
+  /// reproduces the paper's Fig 12 OOM pattern: DEEP1B fails beyond
+  /// nprobe=64 while SIFT1B/SPACEV1B (max list <3.5%) fit everywhere.
+  static GpuCapacity capacity(const QueryWorkProfile& p);
+
+  static constexpr double kMinQueryTile = 2.0;
+  /// bytes per (candidate) in the scan workspace: f32 distance + i32 index.
+  static constexpr double kWorkspaceBytesPerCandidate = 8.0;
+};
+
+}  // namespace upanns::baselines

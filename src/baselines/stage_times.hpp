@@ -1,0 +1,63 @@
+// Per-stage timing of the four-stage IVFPQ online pipeline (paper Fig 2):
+// (a) cluster filtering, (b) LUT construction, (c) distance calculation,
+// (d) top-k selection — plus any host<->device transfer. All architecture
+// models (CPU roofline, GPU roofline, PIM simulator) report through this
+// struct so breakdown figures (Fig 1, Fig 19) compare like with like.
+#pragma once
+
+#include <cstddef>
+
+namespace upanns::baselines {
+
+struct StageTimes {
+  double cluster_filter = 0;
+  double lut_build = 0;
+  double distance_calc = 0;
+  double topk = 0;
+  double transfer = 0;
+
+  double total() const {
+    return cluster_filter + lut_build + distance_calc + topk + transfer;
+  }
+
+  StageTimes& operator+=(const StageTimes& o) {
+    cluster_filter += o.cluster_filter;
+    lut_build += o.lut_build;
+    distance_calc += o.distance_calc;
+    topk += o.topk;
+    transfer += o.transfer;
+    return *this;
+  }
+};
+
+/// The work a query batch performs, measured from a functional run (or
+/// constructed analytically for at-scale extrapolation, e.g. Fig 1's 1B row).
+struct QueryWorkProfile {
+  std::size_t n_queries = 0;
+  std::size_t n_clusters = 0;    ///< |C|
+  std::size_t nprobe = 0;
+  std::size_t dim = 0;
+  std::size_t m = 0;             ///< PQ code bytes
+  std::size_t k = 0;             ///< top-k
+  std::size_t total_candidates = 0;  ///< points scanned across the batch
+  std::size_t dataset_n = 0;     ///< points in the index
+  std::size_t max_cluster = 0;   ///< largest inverted list touched
+};
+
+/// Linear-work extrapolation to a larger dataset (see DESIGN.md): IVFPQ scan
+/// work is strictly linear in inverted-list lengths, so scaling candidates,
+/// dataset size and max cluster by n_target/n_actual yields the at-scale
+/// profile exactly (|C|, nprobe, dim, m, k are scale-free).
+inline QueryWorkProfile scale_profile(QueryWorkProfile p, std::size_t target_n) {
+  if (p.dataset_n == 0) return p;
+  const double f = static_cast<double>(target_n) /
+                   static_cast<double>(p.dataset_n);
+  p.total_candidates =
+      static_cast<std::size_t>(static_cast<double>(p.total_candidates) * f);
+  p.max_cluster =
+      static_cast<std::size_t>(static_cast<double>(p.max_cluster) * f);
+  p.dataset_n = target_n;
+  return p;
+}
+
+}  // namespace upanns::baselines

@@ -1,0 +1,80 @@
+// Hardware constants of the three evaluated platforms (paper Table 1) plus
+// the micro-architectural UPMEM parameters from the UPMEM SDK documentation
+// and Gómez-Luna et al., "Benchmarking a New Paradigm" (IEEE Access 2022).
+// Every simulator/cost model pulls its numbers from here so Table 1 and all
+// derived figures share one source of truth.
+#pragma once
+
+#include <cstddef>
+
+namespace upanns::hw {
+
+// ---------------------------------------------------------------- CPU (Table 1)
+// 2x Intel Xeon Silver 4110 @ 2.10 GHz, 4x DDR4-2666.
+inline constexpr double kCpuFreqHz = 2.10e9;
+inline constexpr int kCpuSockets = 2;
+inline constexpr int kCpuCoresPerSocket = 8;
+inline constexpr int kCpuCores = kCpuSockets * kCpuCoresPerSocket;
+inline constexpr double kCpuMemBandwidth = 85.3e9;    // bytes/s
+inline constexpr double kCpuMemCapacity = 128.0e9;    // bytes
+inline constexpr double kCpuPeakPowerW = 190.0;
+inline constexpr double kCpuPriceUsd = 1400.0;
+// Sustained scalar+SIMD throughput used by the roofline (flops/s). Xeon
+// Silver 4110: 16 cores x 2.1 GHz x ~8 f32 FMA lanes (AVX-512 at reduced
+// clock) ~= 2.7e11; we use a conservative sustained figure.
+inline constexpr double kCpuFlops = 2.2e11;
+
+// ---------------------------------------------------------------- GPU (Table 1)
+// NVIDIA A100 PCIe 80 GB.
+inline constexpr double kGpuMemBandwidth = 1935.0e9;  // bytes/s
+inline constexpr double kGpuMemCapacity = 80.0e9;     // bytes
+inline constexpr double kGpuPeakPowerW = 300.0;
+inline constexpr double kGpuPriceUsd = 20000.0;
+inline constexpr double kGpuFlops = 19.5e12;          // fp32 peak
+// Top-k selection on GPUs is the low-parallelism stage (paper: 64-89% of
+// runtime). Effective k-selection throughput in candidates/s, and the
+// per-batch CUDA stream synchronization overhead.
+inline constexpr double kGpuTopkCandidatesPerSec = 5.0e9;
+inline constexpr double kGpuTopkPerKCost = 2.2e-6;    // s per unit of k per query chunk
+inline constexpr double kGpuSyncLatency = 45e-6;      // s per kernel sync
+inline constexpr double kGpuPciBandwidth = 24.0e9;    // bytes/s (PCIe 4 x16)
+
+// ---------------------------------------------------------------- PIM (Table 1)
+// 7 UPMEM DIMMs; 16 chips/DIMM x 8 DPUs/chip = 128 DPUs per DIMM.
+inline constexpr int kDpusPerChip = 8;
+inline constexpr int kChipsPerDimm = 16;
+inline constexpr int kDpusPerDimm = kDpusPerChip * kChipsPerDimm;  // 128
+inline constexpr int kDefaultDimms = 7;
+inline constexpr int kDefaultDpus = kDefaultDimms * kDpusPerDimm;  // 896
+inline constexpr double kPimDimmPeakPowerW = 23.22;   // Falevoz & Legriel 2023
+inline constexpr double kPimPriceUsdPerDimm = 400.0;  // 7 DIMMs ~ $2800
+
+// Per-DPU micro-architecture (UPMEM SDK / Gómez-Luna et al.).
+inline constexpr double kDpuFreqHz = 350.0e6;
+inline constexpr std::size_t kMramBytes = 64ull * 1024 * 1024;  // 64 MB
+inline constexpr std::size_t kWramBytes = 64ull * 1024;         // 64 KB
+inline constexpr std::size_t kIramBytes = 24ull * 1024;         // 24 KB
+inline constexpr unsigned kMaxTasklets = 24;
+// The 14-stage pipeline dispatches tasklets in a revolver: a tasklet can
+// re-issue only once its previous instruction clears the non-overlapping
+// stages, i.e. every max(#tasklets, 11) cycles. 11 tasklets saturate the
+// pipeline (paper Fig 13).
+inline constexpr unsigned kPipelineStages = 14;
+inline constexpr unsigned kPipelineSaturation = 11;
+
+// MRAM<->WRAM DMA latency model (paper Fig 7): a fixed setup cost plus a
+// per-byte streaming cost. Below ~256 B the setup dominates (flat-ish);
+// beyond it latency grows linearly. Transfers must be 8-byte aligned,
+// >= 8 B and <= 2048 B.
+inline constexpr double kMramSetupCycles = 77.0;
+inline constexpr double kMramCyclesPerByte = 0.5;
+inline constexpr std::size_t kMramMinTransfer = 8;
+inline constexpr std::size_t kMramMaxTransfer = 2048;
+
+// Host <-> MRAM transfer engine: concurrent across DPUs only when every DPU
+// sends/receives the same buffer size, otherwise serialized (paper Sec 2.2).
+inline constexpr double kHostXferParallelBw = 16.0e9;  // bytes/s aggregate
+inline constexpr double kHostXferSerialBw = 0.35e9;    // bytes/s one DPU at a time
+inline constexpr double kHostLaunchLatency = 20e-6;    // s per kernel launch
+
+}  // namespace upanns::hw

@@ -1,0 +1,39 @@
+// Small statistics helpers shared by the workload analyzer (Fig 4), the
+// balance ablation (Fig 11) and the scalability regression (Fig 20).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace upanns::common {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// max/mean ratio — the balance metric of paper Fig 11 (a ratio close to 1
+/// means DPU workloads are even).
+double max_over_mean(const std::vector<double>& xs);
+
+/// Ordinary least squares y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace upanns::common

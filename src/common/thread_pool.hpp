@@ -1,0 +1,62 @@
+// A small work-stealing-free thread pool with a parallel_for helper.
+// Used by the host-side pipelines (k-means, ground truth, batched search) and
+// by the PIM simulator to evaluate many DPUs concurrently. The DPU *timing*
+// model is independent of how many host threads execute the simulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace upanns::common {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) split into contiguous chunks across the
+  /// pool, blocking until complete. Falls back to inline execution for tiny
+  /// ranges so tests remain cheap.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t min_chunk = 64);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end).
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::size_t min_chunk = 64);
+
+  /// Process-wide pool shared by library internals.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace upanns::common

@@ -1,0 +1,113 @@
+// Bounded top-k containers used on every architecture path:
+//  - BoundedMaxHeap: the classic "keep the k smallest distances" max-heap, as
+//    maintained per thread (tasklet) during the distance-calculation stage.
+//  - The heap can be converted in place to ascending order (heapsort), which
+//    is the min-heap traversal order the Top-K Pruning stage (paper 4.4)
+//    consumes when merging thread-local heaps into the DPU-global heap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace upanns::common {
+
+/// A (distance, id) candidate. Lower distance is better.
+struct Neighbor {
+  float dist;
+  std::uint32_t id;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    // Tie-break on id for deterministic results across schedules.
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+/// Fixed-capacity max-heap keeping the k best (smallest) candidates.
+/// push() is O(log k) once full, O(log size) while filling.
+class BoundedMaxHeap {
+ public:
+  explicit BoundedMaxHeap(std::size_t k) : k_(k) { data_.reserve(k); }
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return data_.size(); }
+  bool full() const { return data_.size() == k_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Current worst (largest) retained distance; +inf while not full.
+  float threshold() const {
+    return full() ? data_.front().dist : std::numeric_limits<float>::infinity();
+  }
+
+  /// The worst retained candidate (heap root). Only valid when non-empty;
+  /// `n < worst()` is the exact acceptance test push() applies when full,
+  /// including the id tie-break — pruning must use this, not threshold(),
+  /// to stay result-identical.
+  const Neighbor& worst() const { return data_.front(); }
+
+  /// Insert a candidate if it beats the current threshold.
+  /// Returns true if the candidate was retained.
+  bool push(Neighbor n) {
+    if (k_ == 0) return false;
+    if (!full()) {
+      data_.push_back(n);
+      std::push_heap(data_.begin(), data_.end());
+      return true;
+    }
+    if (!(n < data_.front())) return false;
+    std::pop_heap(data_.begin(), data_.end());
+    data_.back() = n;
+    std::push_heap(data_.begin(), data_.end());
+    return true;
+  }
+
+  bool push(float dist, std::uint32_t id) { return push(Neighbor{dist, id}); }
+
+  const std::vector<Neighbor>& raw() const { return data_; }
+
+  /// Destructively extract candidates sorted by ascending distance.
+  std::vector<Neighbor> take_sorted() {
+    std::sort_heap(data_.begin(), data_.end());
+    return std::exchange(data_, {});
+  }
+
+  /// Non-destructive sorted copy.
+  std::vector<Neighbor> sorted() const {
+    std::vector<Neighbor> out = data_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void clear() { data_.clear(); }
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> data_;
+};
+
+/// Merge several ascending-sorted candidate lists into the k best overall.
+/// This mirrors the host-side final aggregation across DPUs.
+std::vector<Neighbor> merge_sorted_topk(
+    const std::vector<std::vector<Neighbor>>& lists, std::size_t k);
+
+inline std::vector<Neighbor> merge_sorted_topk(
+    const std::vector<std::vector<Neighbor>>& lists, std::size_t k) {
+  BoundedMaxHeap heap(k);
+  for (const auto& list : lists) {
+    for (const auto& n : list) {
+      // Lists are ascending: once one entry fails the threshold, the rest of
+      // this list cannot contribute (the same early-exit the DPU merge uses).
+      if (heap.full() && !(n.dist < heap.threshold())) break;
+      heap.push(n);
+    }
+  }
+  return heap.take_sorted();
+}
+
+}  // namespace upanns::common

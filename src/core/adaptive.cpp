@@ -1,0 +1,124 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace upanns::core {
+
+const char* adapt_action_name(AdaptAction a) {
+  switch (a) {
+    case AdaptAction::kNone: return "none";
+    case AdaptAction::kAdjustCopies: return "adjust-copies";
+    case AdaptAction::kRelocate: return "relocate";
+  }
+  return "?";
+}
+
+AdaptiveController::AdaptiveController(std::size_t n_clusters,
+                                       AdaptiveOptions options)
+    : n_clusters_(n_clusters), options_(options) {
+  if (n_clusters_ == 0) {
+    throw std::invalid_argument("AdaptiveController: n_clusters == 0");
+  }
+  baseline_.assign(n_clusters_, 1.0 / static_cast<double>(n_clusters_));
+  estimate_ = baseline_;
+}
+
+void AdaptiveController::set_baseline(const std::vector<double>& frequencies) {
+  assert(frequencies.size() == n_clusters_);
+  baseline_ = frequencies;
+  double total = 0;
+  for (double f : baseline_) total += f;
+  if (total > 0) {
+    for (double& f : baseline_) f /= total;
+  }
+  estimate_ = baseline_;
+  window_.clear();
+}
+
+void AdaptiveController::observe_batch(
+    const std::vector<std::vector<std::uint32_t>>& probes) {
+  std::vector<double> batch(n_clusters_, 0.0);
+  double total = 0;
+  for (const auto& list : probes) {
+    for (std::uint32_t c : list) {
+      if (c < n_clusters_) {
+        batch[c] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  if (total == 0) return;
+  for (double& v : batch) v /= total;
+
+  window_.push_back(batch);
+  if (window_.size() > options_.window_batches) window_.pop_front();
+
+  // EWMA update toward the batch distribution.
+  const double a = options_.ewma_alpha;
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    estimate_[c] = (1.0 - a) * estimate_[c] + a * batch[c];
+  }
+  ++batches_observed_;
+}
+
+double AdaptiveController::drift() const {
+  // Total-variation distance: 0 (identical) .. 1 (disjoint support).
+  double tv = 0;
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    tv += std::abs(estimate_[c] - baseline_[c]);
+  }
+  return 0.5 * tv;
+}
+
+AdaptReport AdaptiveController::recommend(
+    const std::vector<std::size_t>& cluster_sizes,
+    const std::vector<std::size_t>& current_copies,
+    double avg_dpu_workload) const {
+  assert(cluster_sizes.size() == n_clusters_);
+  assert(current_copies.size() == n_clusters_);
+  AdaptReport report;
+  report.drift = drift();
+
+  if (report.drift >= options_.major_threshold) {
+    report.action = AdaptAction::kRelocate;
+    return report;
+  }
+
+  // Desired replica counts under the *current* traffic estimate: Algorithm
+  // 1's ncpy = ceil(s_i * f_i / W-bar) recomputed with the fresh f_i.
+  std::size_t changed = 0;
+  std::size_t replicated_total = 0;
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    if (cluster_sizes[c] == 0) continue;
+    const double w = static_cast<double>(cluster_sizes[c]) * estimate_[c];
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(w / std::max(avg_dpu_workload, 1e-30))));
+    replicated_total += current_copies[c];
+    if (want != current_copies[c]) {
+      report.adjustments.push_back(
+          {static_cast<std::uint32_t>(c),
+           static_cast<std::int32_t>(want) -
+               static_cast<std::int32_t>(current_copies[c])});
+      ++changed;
+    }
+  }
+
+  const double change_frac =
+      replicated_total > 0
+          ? static_cast<double>(changed) / static_cast<double>(n_clusters_)
+          : 0.0;
+  if (report.drift >= options_.minor_threshold ||
+      change_frac >= options_.copy_change_fraction) {
+    report.action = AdaptAction::kAdjustCopies;
+  } else {
+    report.action = AdaptAction::kNone;
+    report.adjustments.clear();
+  }
+  return report;
+}
+
+}  // namespace upanns::core

@@ -1,0 +1,87 @@
+// Adaptive replication (paper Sec 4.1.2). DPUs cannot talk to each other,
+// so PIM systems struggle with shifting query patterns; UpANNS targets
+// workloads (RAG, recommendation) whose patterns drift *incrementally* over
+// days and reacts at two speeds:
+//   1. minor drift  -> adjust the number of cluster copies (cheap: only the
+//      deltas are re-placed / loaded);
+//   2. major shifts -> full data relocation (re-run Algorithm 1).
+// The AdaptiveController watches a sliding window of probe history, keeps an
+// exponentially-weighted frequency estimate, quantifies drift against the
+// profile the current placement was built for, and recommends an action.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ivf/cluster_stats.hpp"
+
+namespace upanns::core {
+
+enum class AdaptAction {
+  kNone,        ///< placement still matches the traffic
+  kAdjustCopies,///< minor drift: add/remove replicas of the shifted clusters
+  kRelocate     ///< major shift: rebuild placement from scratch
+};
+
+const char* adapt_action_name(AdaptAction a);
+
+struct AdaptiveOptions {
+  /// Sliding-window length in batches.
+  std::size_t window_batches = 16;
+  /// EWMA smoothing for the frequency estimate (0 = frozen, 1 = last batch).
+  double ewma_alpha = 0.3;
+  /// Total-variation drift below this: no action.
+  double minor_threshold = 0.10;
+  /// Total-variation drift above this: full relocation.
+  double major_threshold = 0.35;
+  /// Fraction of replica-count changes that alone forces kAdjustCopies.
+  double copy_change_fraction = 0.05;
+};
+
+/// A recommended replica-count delta for one cluster.
+struct CopyAdjustment {
+  std::uint32_t cluster;
+  std::int32_t delta;  ///< +n add replicas, -n retire replicas
+};
+
+struct AdaptReport {
+  AdaptAction action = AdaptAction::kNone;
+  double drift = 0.0;  ///< total-variation distance vs the baseline profile
+  std::vector<CopyAdjustment> adjustments;  ///< for kAdjustCopies
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController(std::size_t n_clusters, AdaptiveOptions options = {});
+
+  /// Install the frequency profile the current placement was built against.
+  void set_baseline(const std::vector<double>& frequencies);
+
+  /// Feed one batch's probe lists (cluster ids each query visited).
+  void observe_batch(const std::vector<std::vector<std::uint32_t>>& probes);
+
+  /// Current smoothed frequency estimate (normalized).
+  const std::vector<double>& estimate() const { return estimate_; }
+
+  /// Total-variation distance between the estimate and the baseline.
+  double drift() const;
+
+  /// Decide what to do given the average per-DPU workload target and current
+  /// per-cluster replica counts/sizes.
+  AdaptReport recommend(const std::vector<std::size_t>& cluster_sizes,
+                        const std::vector<std::size_t>& current_copies,
+                        double avg_dpu_workload) const;
+
+  std::size_t batches_observed() const { return batches_observed_; }
+
+ private:
+  std::size_t n_clusters_;
+  AdaptiveOptions options_;
+  std::vector<double> baseline_;
+  std::vector<double> estimate_;
+  std::deque<std::vector<double>> window_;
+  std::size_t batches_observed_ = 0;
+};
+
+}  // namespace upanns::core

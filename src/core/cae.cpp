@@ -1,0 +1,155 @@
+#include "core/cae.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace upanns::core {
+
+namespace {
+
+// Pack (pos, c0, c1, c2) into a 32-bit key for the co-occurrence counter.
+std::uint32_t combo_key(std::size_t pos, std::uint8_t c0, std::uint8_t c1,
+                        std::uint8_t c2) {
+  return (static_cast<std::uint32_t>(pos) << 24) |
+         (static_cast<std::uint32_t>(c0) << 16) |
+         (static_cast<std::uint32_t>(c1) << 8) | c2;
+}
+
+CaeCombo unpack_key(std::uint32_t key) {
+  CaeCombo c;
+  c.pos = static_cast<std::uint8_t>(key >> 24);
+  c.c0 = static_cast<std::uint8_t>(key >> 16);
+  c.c1 = static_cast<std::uint8_t>(key >> 8);
+  c.c2 = static_cast<std::uint8_t>(key);
+  return c;
+}
+
+}  // namespace
+
+CaeClusterEncoding cae_encode_cluster(const ivf::InvertedList& list,
+                                      std::size_t m, const CaeOptions& opts) {
+  CaeClusterEncoding enc;
+  enc.m = m;
+  enc.n_records = list.size();
+  if (list.size() == 0 || m < 3) {
+    return direct_encode_cluster(list, m);
+  }
+
+  // --- Mine: count every position-aligned consecutive triplet. This is the
+  // edge/triangle census of the paper's Element Co-occurrence Graph, realized
+  // as a direct count since only consecutive-position triplets are cacheable
+  // contiguously in the LUT layout.
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  counts.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::uint8_t* code = list.code(i, m);
+    for (std::size_t p = 0; p + 2 < m; ++p) {
+      ++counts[combo_key(p, code[p], code[p + 1], code[p + 2])];
+    }
+  }
+
+  // --- Select: top max_combos by frequency (count floor applies).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranked;  // (count, key)
+  ranked.reserve(counts.size());
+  for (const auto& [key, cnt] : counts) {
+    if (cnt >= opts.min_count) ranked.emplace_back(cnt, key);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break
+  });
+  if (ranked.size() > opts.max_combos) ranked.resize(opts.max_combos);
+
+  enc.combos.reserve(ranked.size());
+  std::unordered_map<std::uint32_t, std::uint16_t> slot_of;
+  slot_of.reserve(ranked.size());
+  for (std::size_t s = 0; s < ranked.size(); ++s) {
+    enc.combos.push_back(unpack_key(ranked[s].second));
+    slot_of[ranked[s].second] = static_cast<std::uint16_t>(s);
+  }
+
+  // --- Re-encode: greedy left-to-right, matching triplets where a slot
+  // exists, otherwise emitting a direct LUT address token.
+  const std::uint16_t lut_span = static_cast<std::uint16_t>(256 * m);
+  enc.tokens.reserve(list.size() * (m + 1) / 2);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::uint8_t* code = list.code(i, m);
+    const std::size_t header_at = enc.tokens.size();
+    enc.tokens.push_back(0);  // patched below
+    std::uint16_t len = 0;
+    std::size_t p = 0;
+    while (p < m) {
+      if (p + 2 < m) {
+        const auto it =
+            slot_of.find(combo_key(p, code[p], code[p + 1], code[p + 2]));
+        if (it != slot_of.end()) {
+          enc.tokens.push_back(static_cast<std::uint16_t>(lut_span + it->second));
+          ++len;
+          p += 3;
+          continue;
+        }
+      }
+      enc.tokens.push_back(
+          static_cast<std::uint16_t>(p * 256 + code[p]));
+      ++len;
+      ++p;
+    }
+    enc.tokens[header_at] = len;
+    enc.total_tokens += len;
+  }
+  return enc;
+}
+
+CaeClusterEncoding direct_encode_cluster(const ivf::InvertedList& list,
+                                         std::size_t m) {
+  CaeClusterEncoding enc;
+  enc.m = m;
+  enc.n_records = list.size();
+  enc.tokens.reserve(list.size() * (m + 1));
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::uint8_t* code = list.code(i, m);
+    enc.tokens.push_back(static_cast<std::uint16_t>(m));
+    for (std::size_t p = 0; p < m; ++p) {
+      enc.tokens.push_back(static_cast<std::uint16_t>(p * 256 + code[p]));
+    }
+    enc.total_tokens += m;
+  }
+  return enc;
+}
+
+bool cae_stream_matches_codes(const CaeClusterEncoding& enc,
+                              const ivf::InvertedList& list, std::size_t m) {
+  if (enc.n_records != list.size()) return false;
+  std::size_t off = 0;
+  std::vector<std::uint8_t> expanded(m);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (off >= enc.tokens.size()) return false;
+    const std::uint16_t len = enc.tokens[off++];
+    std::size_t p = 0;
+    for (std::uint16_t t = 0; t < len; ++t) {
+      if (off >= enc.tokens.size() || p >= m) return false;
+      const TokenRef ref = decode_token(enc.tokens[off++], m);
+      if (ref.is_combo) {
+        if (ref.value >= enc.combos.size()) return false;
+        const CaeCombo& c = enc.combos[ref.value];
+        if (c.pos != p || p + 2 >= m) return false;
+        expanded[p] = c.c0;
+        expanded[p + 1] = c.c1;
+        expanded[p + 2] = c.c2;
+        p += 3;
+      } else {
+        const std::size_t pos = ref.value / 256;
+        if (pos != p) return false;
+        expanded[p] = static_cast<std::uint8_t>(ref.value % 256);
+        ++p;
+      }
+    }
+    if (p != m) return false;
+    const std::uint8_t* code = list.code(i, m);
+    if (!std::equal(expanded.begin(), expanded.end(), code)) return false;
+  }
+  return off == enc.tokens.size();
+}
+
+}  // namespace upanns::core

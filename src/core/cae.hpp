@@ -1,0 +1,91 @@
+// Opt3: Co-occurrence Aware Encoding (paper Sec 4.3).
+//
+// PQ codes have a small value range ([0,255]), so real datasets contain
+// frequent position-aligned code combinations (e.g. the triplet (1,15,26)
+// appears in 5.7% of SIFT1B vectors). For each cluster we mine the top-m
+// most frequent length-3 combinations via an element co-occurrence count,
+// reserve a WRAM slot for each combination's partial LUT sum, and re-encode
+// vectors so a matched triplet collapses into a single token referencing
+// that slot.
+//
+// Token format (u16), following the paper's direct-address refinement that
+// eliminates per-element address multiplications on the DPU:
+//   token <  256*M          : direct LUT address (pos*256 + code)
+//   token >= 256*M          : combo slot (token - 256*M) into the partial-sum
+//                             cache laid out after the LUT in WRAM
+// A vector's record is [u16 token_count][token_count x u16 tokens]; records
+// are concatenated into the cluster's token stream. The per-cluster
+// length-reduction rate of Fig 14 is 1 - avg(token_count)/M.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ivf/ivf_index.hpp"
+
+namespace upanns::core {
+
+/// One mined combination: codes (c0,c1,c2) at positions (pos, pos+1, pos+2).
+struct CaeCombo {
+  std::uint8_t pos = 0;
+  std::uint8_t c0 = 0, c1 = 0, c2 = 0;
+
+  friend bool operator==(const CaeCombo&, const CaeCombo&) = default;
+};
+
+struct CaeOptions {
+  /// Max combinations cached per cluster (paper default m = 256, bounded by
+  /// the WRAM partial-sum buffer).
+  std::size_t max_combos = 256;
+  /// A combination must appear at least this many times to be worth a slot.
+  std::size_t min_count = 4;
+};
+
+/// The CAE encoding of one cluster.
+struct CaeClusterEncoding {
+  std::vector<CaeCombo> combos;        ///< slot -> combination
+  std::vector<std::uint16_t> tokens;   ///< concatenated [len][tokens] records
+  std::size_t n_records = 0;
+  std::size_t total_tokens = 0;        ///< sum of token_count over records
+  std::size_t m = 0;                   ///< original code count per vector
+
+  /// Fraction of per-vector entries eliminated (paper Fig 14's x-axis).
+  double length_reduction() const {
+    if (n_records == 0 || m == 0) return 0.0;
+    const double avg =
+        static_cast<double>(total_tokens) / static_cast<double>(n_records);
+    return 1.0 - avg / static_cast<double>(m);
+  }
+  /// Stream bytes (records + headers).
+  std::size_t stream_bytes() const {
+    return (total_tokens + n_records) * sizeof(std::uint16_t);
+  }
+};
+
+/// Mine combinations and re-encode a cluster's PQ codes.
+CaeClusterEncoding cae_encode_cluster(const ivf::InvertedList& list,
+                                      std::size_t m, const CaeOptions& opts);
+
+/// Plain (no-combo) direct-address token stream: every vector becomes
+/// [M][pos*256+code ...]. Used when Opt3 is disabled but the UpANNS kernel
+/// still wants multiplication-free LUT addressing.
+CaeClusterEncoding direct_encode_cluster(const ivf::InvertedList& list,
+                                         std::size_t m);
+
+/// Decode a token back: returns {is_combo, lut_address_or_slot}.
+struct TokenRef {
+  bool is_combo;
+  std::uint16_t value;
+};
+inline TokenRef decode_token(std::uint16_t token, std::size_t m) {
+  const std::uint16_t lut_span = static_cast<std::uint16_t>(256 * m);
+  if (token >= lut_span) return {true, static_cast<std::uint16_t>(token - lut_span)};
+  return {false, token};
+}
+
+/// Verify a CAE stream reproduces the original codes (used by tests and the
+/// engine's self-check): expands every record and compares.
+bool cae_stream_matches_codes(const CaeClusterEncoding& enc,
+                              const ivf::InvertedList& list, std::size_t m);
+
+}  // namespace upanns::core

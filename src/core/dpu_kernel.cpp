@@ -1,0 +1,415 @@
+#include "core/dpu_kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace upanns::core {
+
+namespace {
+
+// Instruction-cost constants (per-element issue slots). Derived from the
+// DPU ISA: loads/stores/ALU ops are single-issue; there is no hardware
+// 32-bit multiply, which is why direct-address tokens save the 2-op address
+// arithmetic the raw-code path pays per element.
+constexpr std::uint64_t kInstrLutPerDim = 3;      // load cb, dequant-sub, fma
+constexpr std::uint64_t kInstrLutPerEntry = 3;    // max-track, store, loop
+constexpr std::uint64_t kInstrQuantPerEntry = 3;  // load, scale, store
+constexpr std::uint64_t kInstrComboPerSlot = 8;   // 3 loads + 2 adds + store + addr
+constexpr std::uint64_t kInstrTokenScan = 3;      // load token, LUT load, add
+constexpr std::uint64_t kInstrRawScan = 4;        // + running-base addressing
+constexpr std::uint64_t kInstrRecordOverhead = 5; // header, loop, compare, scale
+constexpr std::uint64_t kInstrResidualPerDim = 3; // load, sub, store
+
+std::uint64_t heap_push_cost(std::size_t k) {
+  std::uint64_t lg = 1;
+  while ((1ull << lg) < k + 1) ++lg;
+  return 2 * lg + 4;
+}
+
+}  // namespace
+
+QueryKernel::QueryKernel(const DpuStaticLayout& layout,
+                         const DpuLaunchInput& input, KernelMode mode,
+                         bool prune_topk)
+    : layout_(layout),
+      input_(input),
+      mode_(mode),
+      prune_topk_(prune_topk),
+      global_heap_(input.k) {
+  // Build the phase program: items arrive grouped by query; each item gets
+  // the per-cluster stages, and each query closes with one merge phase.
+  for (std::uint32_t i = 0; i < input_.items.size(); ++i) {
+    program_.push_back({Step::kLutBuild, i});
+    program_.push_back({Step::kLutReduce, i});
+    program_.push_back({Step::kLutQuantize, i});
+    if (mode_ == KernelMode::kCae && cluster_of(i).n_combos > 0) {
+      program_.push_back({Step::kComboSums, i});
+    }
+    program_.push_back({Step::kDistance, i});
+    const bool last_of_query =
+        i + 1 == input_.items.size() ||
+        input_.items[i + 1].query_local != input_.items[i].query_local;
+    if (last_of_query) {
+      program_.push_back({Step::kMerge, i});
+    }
+  }
+}
+
+void QueryKernel::setup(pim::Dpu& dpu, unsigned n_tasklets) {
+  dpu_ = &dpu;
+  pim::WramAllocator& wram = dpu.wram();
+  wram.reset();
+
+  const std::size_t m = layout_.m;
+  const std::size_t k = input_.k;
+
+  // Fixed-region layout (paper Fig 6). Heaps and the partial-sum cache live
+  // below the LUT; the codebook is last so it can be rewound and reused as
+  // per-tasklet read buffers during the distance stage.
+  const std::size_t heap_bytes = (n_tasklets + 1) * k * 8;
+  wram.alloc(heap_bytes, "topk-heaps");
+
+  std::uint32_t max_combos = 0;
+  for (const auto& item : input_.items) {
+    max_combos = std::max(max_combos,
+                          layout_.clusters[item.cluster_slot].n_combos);
+  }
+  if (mode_ == KernelMode::kCae && max_combos > 0) {
+    wram_combo_off = wram.alloc(max_combos * sizeof(std::uint32_t),
+                                "combo-partial-sums");
+  }
+  wram_query_off = wram.alloc(layout_.dim * sizeof(float), "query-residual");
+  // Float LUT region; the u16 LUT compacts into its first half in place.
+  wram_lut_off = wram.alloc(m * 256 * sizeof(float), "lut");
+  wram_codebook_mark = wram.mark();
+  wram_codebook_off = wram.alloc(m * 256 * layout_.dsub, "codebook");
+
+  // Per-tasklet stream buffers must hold a full chunk (plus its ids) so
+  // records never straddle buffers; verify the reuse region can host them.
+  const std::size_t elem_size = mode_ == KernelMode::kNaiveRaw ? 1 : 2;
+  const std::size_t chunk_stream_bytes =
+      kChunkRecords * (m + (mode_ == KernelMode::kNaiveRaw ? 0 : 1)) *
+      elem_size;
+  per_tasklet_buf_bytes_ =
+      (chunk_stream_bytes + kChunkRecords * sizeof(std::uint32_t) + 7) / 8 * 8;
+  {
+    // Probe: rewind to the codebook mark and check the distance-stage
+    // working set fits, then restore the codebook allocation.
+    wram.rewind(wram_codebook_mark);
+    for (unsigned t = 0; t < n_tasklets; ++t) {
+      wram.alloc(per_tasklet_buf_bytes_, "stream-buffer");
+    }
+    wram.rewind(wram_codebook_mark);
+    wram.alloc(m * 256 * layout_.dsub, "codebook");
+  }
+
+  // Functional mirrors.
+  lut_f32_.assign(m * 256, 0.f);
+  lut_u16_.assign(m * 256, 0);
+  combo_sums_.assign(max_combos, 0);
+  residual_.assign(layout_.dim, 0.f);
+  tasklet_max_.assign(n_tasklets, 0.f);
+  local_heaps_.clear();
+  for (unsigned t = 0; t < n_tasklets; ++t) local_heaps_.emplace_back(k);
+  global_heap_ = common::BoundedMaxHeap(k);
+}
+
+unsigned QueryKernel::n_phases() const {
+  return static_cast<unsigned>(program_.size());
+}
+
+void QueryKernel::run_phase(unsigned phase, pim::TaskletCtx& ctx) {
+  const Phase& p = program_[phase];
+  switch (p.step) {
+    case Step::kLutBuild: return phase_lut_build(p, ctx);
+    case Step::kLutReduce: return phase_lut_reduce(ctx);
+    case Step::kLutQuantize: return phase_lut_quantize(ctx);
+    case Step::kComboSums: return phase_combo_sums(p, ctx);
+    case Step::kDistance: return phase_distance(p, ctx);
+    case Step::kMerge: return phase_merge(p, ctx);
+  }
+}
+
+void QueryKernel::phase_lut_build(const Phase& p, pim::TaskletCtx& ctx) {
+  const DpuClusterData& cl = cluster_of(p.item);
+  const std::size_t dim = layout_.dim;
+  const std::size_t dsub = layout_.dsub;
+  const std::size_t m = layout_.m;
+
+  // Tasklet 0 materializes the residual first (it is the first to run and
+  // the work is tiny relative to the LUT itself).
+  if (ctx.id() == 0) {
+    std::vector<float> query(dim), centroid(dim);
+    const std::size_t q_off =
+        input_.queries_off +
+        static_cast<std::size_t>(input_.items[p.item].query_local) * dim *
+            sizeof(float);
+    ctx.mram_read(q_off, query.data(), dim * sizeof(float));
+    ctx.mram_read(cl.centroid_off, centroid.data(), dim * sizeof(float));
+    for (std::size_t d = 0; d < dim; ++d) residual_[d] = query[d] - centroid[d];
+    ctx.instr(dim * kInstrResidualPerDim);
+  }
+
+  // Tasklets split PQ subspaces; each streams its codebook segment from
+  // MRAM and fills 256 float LUT entries, tracking a local max.
+  std::vector<std::int8_t> cb_seg(256 * dsub);
+  std::vector<float> scales(m);
+  ctx.mram_read(layout_.cb_scale_off, scales.data(), m * sizeof(float));
+  float local_max = 0.f;
+  for (std::size_t s = ctx.id(); s < m; s += ctx.n_tasklets()) {
+    ctx.mram_read(layout_.codebook_off + s * 256 * dsub, cb_seg.data(),
+                  256 * dsub);
+    const float scale = scales[s];
+    const float* res = residual_.data() + s * dsub;
+    for (std::size_t c = 0; c < 256; ++c) {
+      float acc = 0.f;
+      const std::int8_t* entry = cb_seg.data() + c * dsub;
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const float diff = res[d] - scale * static_cast<float>(entry[d]);
+        acc += diff * diff;
+      }
+      lut_f32_[s * 256 + c] = acc;
+      local_max = std::max(local_max, acc);
+    }
+    ctx.instr(256 * (dsub * kInstrLutPerDim + kInstrLutPerEntry));
+  }
+  tasklet_max_[ctx.id()] = local_max;
+}
+
+void QueryKernel::phase_lut_reduce(pim::TaskletCtx& ctx) {
+  if (ctx.id() != 0) return;
+  float mx = 0.f;
+  for (float v : tasklet_max_) mx = std::max(mx, v);
+  lut_scale_ = mx > 0.f ? mx / 65000.f : 1.f;
+  ctx.instr(tasklet_max_.size() + 6);
+}
+
+void QueryKernel::phase_lut_quantize(pim::TaskletCtx& ctx) {
+  // Compact f32 -> u16 in place (front-to-back is safe); each tasklet takes
+  // a contiguous slice.
+  const std::size_t total = lut_f32_.size();
+  const std::size_t per = (total + ctx.n_tasklets() - 1) / ctx.n_tasklets();
+  const std::size_t lo = ctx.id() * per;
+  const std::size_t hi = std::min(total, lo + per);
+  const float inv = 1.f / lut_scale_;
+  for (std::size_t i = lo; i < hi; ++i) {
+    lut_u16_[i] = static_cast<std::uint16_t>(
+        std::min(65535.f, std::round(lut_f32_[i] * inv)));
+  }
+  if (hi > lo) ctx.instr((hi - lo) * kInstrQuantPerEntry);
+}
+
+void QueryKernel::phase_combo_sums(const Phase& p, pim::TaskletCtx& ctx) {
+  const DpuClusterData& cl = cluster_of(p.item);
+  const std::size_t n = cl.n_combos;
+  const std::size_t per = (n + ctx.n_tasklets() - 1) / ctx.n_tasklets();
+  const std::size_t lo = ctx.id() * per;
+  const std::size_t hi = std::min(n, lo + per);
+  if (lo >= hi) return;
+
+  std::vector<std::uint8_t> defs((hi - lo) * 4);
+  ctx.mram_read(cl.combos_off + lo * 4, defs.data(), defs.size());
+  for (std::size_t s = lo; s < hi; ++s) {
+    const std::uint8_t* d = defs.data() + (s - lo) * 4;
+    const std::size_t pos = d[0];
+    combo_sums_[s] = static_cast<std::uint32_t>(lut_u16_[pos * 256 + d[1]]) +
+                     lut_u16_[(pos + 1) * 256 + d[2]] +
+                     lut_u16_[(pos + 2) * 256 + d[3]];
+  }
+  ctx.instr((hi - lo) * kInstrComboPerSlot);
+}
+
+void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
+  const DpuClusterData& cl = cluster_of(p.item);
+  const std::size_t m = layout_.m;
+  const std::size_t k = input_.k;
+  const bool raw = mode_ == KernelMode::kNaiveRaw;
+  const std::size_t elem_size = raw ? 1 : 2;
+  const std::size_t read_bytes = input_.mram_read_bytes > 0
+                                     ? pim::DpuCostModel::legalize_transfer(
+                                           input_.mram_read_bytes)
+                                     : hw::kMramMaxTransfer;
+  const std::uint64_t push_cost = heap_push_cost(k);
+  common::BoundedMaxHeap& heap = local_heaps_[ctx.id()];
+
+  std::vector<std::uint8_t> stream_buf(kChunkRecords * (m + 1) * 2);
+  std::vector<std::uint32_t> ids_buf(kChunkRecords);
+  std::vector<std::uint32_t> chunk_index(cl.n_chunks);
+  if (!raw && cl.n_chunks > 0 && ctx.id() == 0) {
+    // The chunk index is small; tasklet 0 stages it (charged once).
+    ctx.instr(4);
+  }
+  if (!raw && cl.n_chunks > 0) {
+    // Every tasklet needs its chunks' offsets; modeled as one DMA of the
+    // slice it owns (the functional copy grabs the whole table).
+    dpu_->host_read(cl.chunk_index_off, chunk_index.data(),
+                    cl.n_chunks * sizeof(std::uint32_t));
+    const std::size_t own =
+        (cl.n_chunks + ctx.n_tasklets() - 1) / ctx.n_tasklets();
+    ctx.mram_read(cl.chunk_index_off, chunk_index.data(),
+                  std::min<std::size_t>(own * sizeof(std::uint32_t),
+                                        cl.n_chunks * sizeof(std::uint32_t)));
+  }
+
+  std::uint64_t scanned_elems = 0;
+  std::uint64_t scanned_recs = 0;
+  for (std::uint32_t ci = ctx.id(); ci * kChunkRecords < cl.n_records;
+       ci += ctx.n_tasklets()) {
+    const std::size_t rec_lo = static_cast<std::size_t>(ci) * kChunkRecords;
+    const std::size_t rec_hi =
+        std::min<std::size_t>(cl.n_records, rec_lo + kChunkRecords);
+    const std::size_t n_rec = rec_hi - rec_lo;
+
+    // Ids for this chunk: one DMA.
+    ctx.mram_read(cl.ids_off + rec_lo * sizeof(std::uint32_t), ids_buf.data(),
+                  n_rec * sizeof(std::uint32_t));
+
+    // Stream span of this chunk.
+    std::size_t elem_lo, elem_hi;
+    if (raw) {
+      elem_lo = rec_lo * m;
+      elem_hi = rec_hi * m;
+    } else {
+      elem_lo = chunk_index[ci];
+      elem_hi = (static_cast<std::size_t>(ci) + 1 < cl.n_chunks)
+                    ? chunk_index[ci + 1]
+                    : cl.stream_len;
+    }
+    const std::size_t span_bytes = (elem_hi - elem_lo) * elem_size;
+    assert(span_bytes <= stream_buf.size());
+    // DMA the span at the configured read granularity (fig 17's knob):
+    // smaller reads => more DMA setups => higher latency.
+    {
+      std::size_t done = 0;
+      while (done < span_bytes) {
+        const std::size_t piece = std::min(read_bytes, span_bytes - done);
+        ctx.mram_read(cl.stream_off + elem_lo * elem_size + done,
+                      stream_buf.data() + done, piece);
+        done += piece;
+      }
+    }
+
+    // Scan records.
+    const std::uint16_t* tokens =
+        reinterpret_cast<const std::uint16_t*>(stream_buf.data());
+    std::size_t cursor = 0;  // element cursor within the chunk buffer
+    for (std::size_t r = 0; r < n_rec; ++r) {
+      std::uint32_t acc = 0;
+      std::size_t n_elems;
+      if (raw) {
+        const std::uint8_t* code = stream_buf.data() + r * m;
+        for (std::size_t pos = 0; pos < m; ++pos) {
+          acc += lut_u16_[pos * 256 + code[pos]];
+        }
+        n_elems = m;
+        ctx.instr(m * kInstrRawScan + kInstrRecordOverhead);
+      } else {
+        const std::uint16_t len = tokens[cursor++];
+        const std::uint16_t lut_span = static_cast<std::uint16_t>(256 * m);
+        for (std::uint16_t t = 0; t < len; ++t) {
+          const std::uint16_t tok = tokens[cursor++];
+          acc += tok < lut_span ? lut_u16_[tok]
+                                : combo_sums_[tok - lut_span];
+        }
+        n_elems = len;
+        ctx.instr(len * kInstrTokenScan + kInstrRecordOverhead);
+      }
+      scanned_elems += n_elems;
+      ++scanned_recs;
+      const float dist = static_cast<float>(acc) * lut_scale_;
+      if (heap.push(dist, ids_buf[r])) ctx.instr(push_cost);
+    }
+  }
+  // Shared counters: tasklets run sequentially in the simulator, so plain
+  // accumulation is deterministic.
+  scanned_elements_ += scanned_elems;
+  scanned_records_ += scanned_recs;
+}
+
+void QueryKernel::phase_merge(const Phase& p, pim::TaskletCtx& ctx) {
+  const std::size_t k = input_.k;
+  const std::uint64_t push_cost = heap_push_cost(k);
+
+  // Convert this tasklet's max-heap to ascending (min-first) order — the
+  // paper's min-heap trick that enables pruning — then feed the DPU heap
+  // under the semaphore.
+  common::BoundedMaxHeap& heap = local_heaps_[ctx.id()];
+  const std::size_t n = heap.size();
+  std::vector<common::Neighbor> sorted = heap.take_sorted();
+  if (n > 1) {
+    std::uint64_t lg = 1;
+    while ((1ull << lg) < n) ++lg;
+    ctx.instr(2 * n * lg);  // heapsort into min order
+  }
+  // Without pruning (PIM-naive), every local element enters the critical
+  // section with full insert-call overhead — sem_take, call, root compare,
+  // sem_give — whether or not it survives. The pruned path checks the
+  // threshold first (2 ops) and, thanks to the min-first order, abandons the
+  // whole remainder of the heap at the first failure; this is the "68% of
+  // redundant comparisons" Opt4 skips.
+  constexpr std::uint64_t kNaiveInsertOverhead = 8;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (prune_topk_) {
+      ctx.critical_instr(2);  // sem_take + threshold compare
+      if (global_heap_.full() && !(sorted[i] < global_heap_.worst())) {
+        // `sorted` is ascending in the same total order the heap rejects
+        // by, so everything after the first failing entry prunes wholesale.
+        merge_pruned_ += sorted.size() - i;
+        break;
+      }
+    } else {
+      ctx.critical_instr(kNaiveInsertOverhead);
+    }
+    if (global_heap_.push(sorted[i])) {
+      ctx.critical_instr(push_cost);
+    }
+    ++merge_insertions_;
+  }
+
+  // The last tasklet (runs last in the simulator's deterministic order)
+  // flushes the aggregated top-k to MRAM for the host to gather.
+  if (ctx.id() + 1 == ctx.n_tasklets()) {
+    std::vector<common::Neighbor> result = global_heap_.take_sorted();
+    std::vector<std::uint32_t> packed(2 * k, 0xFFFFFFFFu);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &result[i].dist, sizeof(bits));
+      packed[2 * i] = bits;
+      packed[2 * i + 1] = result[i].id;
+    }
+    const std::size_t slot =
+        input_.results_off +
+        static_cast<std::size_t>(input_.items[p.item].query_local) * k * 8;
+    ctx.mram_write(slot, packed.data(), packed.size() * sizeof(std::uint32_t));
+    ctx.instr(2 * k);
+    global_heap_.clear();
+    for (auto& h : local_heaps_) h.clear();
+  }
+}
+
+KernelStageCycles QueryKernel::attribute_stages(
+    const std::vector<std::uint64_t>& phase_cycles) const {
+  KernelStageCycles out;
+  assert(phase_cycles.size() == program_.size());
+  for (std::size_t i = 0; i < program_.size(); ++i) {
+    switch (program_[i].step) {
+      case Step::kLutBuild:
+      case Step::kLutReduce:
+      case Step::kLutQuantize:
+      case Step::kComboSums:
+        out.lut_build += phase_cycles[i];
+        break;
+      case Step::kDistance:
+        out.distance += phase_cycles[i];
+        break;
+      case Step::kMerge:
+        out.topk += phase_cycles[i];
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace upanns::core

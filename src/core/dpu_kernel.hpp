@@ -1,0 +1,165 @@
+// The UpANNS per-DPU query kernel (paper Fig 6) — Opt2 and Opt4 live here.
+//
+// For every (query, cluster) assignment the kernel executes the
+// barrier-separated stages of Fig 6 on up to 24 tasklets:
+//   S0  residual + float LUT construction  (tasklets split PQ subspaces;
+//       codebook segments stream MRAM->WRAM)               [Barrier 1]
+//   S1  LUT scale reduction (tasklet 0)                     [barrier]
+//   S2  LUT quantization to u16, compacted in place         [Barrier 2 prep]
+//   S3  co-occurrence partial sums into the WRAM cache      [Barrier 2]
+//   S4  distance calculation: tasklets stream encoded-point
+//       chunks from MRAM, accumulate LUT entries, maintain
+//       thread-local bounded max-heaps                      [Barrier 3]
+// and, once per query (after its last assigned cluster):
+//   S5  pruned merge of thread-local heaps into the DPU
+//       top-k heap + result write to MRAM                   [Barrier 0]
+//
+// WRAM reuse (paper 4.2.2): the codebook region is the *last* fixed
+// allocation; before S4 the kernel rewinds the WRAM allocator to the
+// codebook mark and reuses that space for the per-tasklet MRAM read buffers.
+// The allocator throws if a configuration would not fit real WRAM.
+//
+// The kernel runs in three modes:
+//   kNaiveRaw     - PIM-naive: raw u8 PQ codes, per-element address
+//                   arithmetic, unpruned top-k merge.
+//   kDirectTokens - UpANNS without CAE: u16 direct-address tokens.
+//   kCae          - full UpANNS: CAE token streams + partial-sum cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/topk.hpp"
+#include "core/cae.hpp"
+#include "pim/dpu.hpp"
+
+namespace upanns::core {
+
+enum class KernelMode { kNaiveRaw, kDirectTokens, kCae };
+
+/// Records per chunk of the streamed encoded-point data; each chunk carries
+/// a token-offset entry in the chunk index so tasklets can start mid-stream.
+inline constexpr std::size_t kChunkRecords = 16;
+
+/// MRAM layout of one resident cluster replica (built by the engine).
+struct DpuClusterData {
+  std::uint32_t cluster_id = 0;
+  std::uint32_t n_records = 0;
+  std::size_t ids_off = 0;        ///< u32 x n_records
+  std::size_t stream_off = 0;     ///< u16 tokens (or u8 codes in kNaiveRaw)
+  std::size_t stream_len = 0;     ///< element count (u16s, or bytes if raw)
+  std::size_t chunk_index_off = 0;///< u32 element offsets, one per chunk
+  std::uint32_t n_chunks = 0;
+  std::size_t combos_off = 0;     ///< packed CaeCombo (4B each)
+  std::uint32_t n_combos = 0;
+  std::size_t centroid_off = 0;   ///< float x dim
+};
+
+/// Static per-DPU layout shared by all launches.
+struct DpuStaticLayout {
+  std::size_t dim = 0;
+  std::size_t m = 0;
+  std::size_t dsub = 0;
+  std::size_t codebook_off = 0;   ///< int8, m x 256 x dsub
+  std::size_t cb_scale_off = 0;   ///< float x m (dequantization scales)
+  std::vector<DpuClusterData> clusters;  ///< resident replicas (slot order)
+};
+
+/// Per-launch inputs, already pushed to MRAM by the host.
+struct DpuLaunchInput {
+  std::size_t queries_off = 0;    ///< float x dim per unique query
+  std::uint32_t n_queries = 0;    ///< unique queries on this DPU
+  std::size_t results_off = 0;    ///< k x (u32 dist, u32 id) per query
+  std::size_t k = 10;
+  std::size_t mram_read_bytes = 0;///< DMA granularity for the stream (fig 17)
+  /// Assignments in query-grouped order: (local query idx, cluster slot).
+  struct Item {
+    std::uint32_t query_local;
+    std::uint32_t cluster_slot;
+  };
+  std::vector<Item> items;
+};
+
+/// Stage attribution of the kernel's phases, resolved after the run.
+struct KernelStageCycles {
+  std::uint64_t lut_build = 0;    ///< S0-S3 (paper folds partial sums here)
+  std::uint64_t distance = 0;     ///< S4
+  std::uint64_t topk = 0;         ///< S5
+};
+
+class QueryKernel final : public pim::DpuKernel {
+ public:
+  QueryKernel(const DpuStaticLayout& layout, const DpuLaunchInput& input,
+              KernelMode mode, bool prune_topk);
+
+  void setup(pim::Dpu& dpu, unsigned n_tasklets) override;
+  unsigned n_phases() const override;
+  void run_phase(unsigned phase, pim::TaskletCtx& ctx) override;
+
+  /// Map phase cycles (from DpuRunStats) onto pipeline stages.
+  KernelStageCycles attribute_stages(
+      const std::vector<std::uint64_t>& phase_cycles) const;
+
+  /// Aggregate comparison-pruning statistics (Fig 15's mechanism).
+  std::uint64_t merge_insertions() const { return merge_insertions_; }
+  std::uint64_t merge_pruned() const { return merge_pruned_; }
+  /// Aggregate scanned stream elements (CAE length-reduction visibility).
+  std::uint64_t scanned_elements() const { return scanned_elements_; }
+  std::uint64_t scanned_records() const { return scanned_records_; }
+
+ private:
+  enum class Step : std::uint8_t {
+    kLutBuild, kLutReduce, kLutQuantize, kComboSums, kDistance, kMerge
+  };
+  struct Phase {
+    Step step;
+    std::uint32_t item;   ///< assignment index (kMerge: first item of query)
+  };
+
+  void phase_lut_build(const Phase& p, pim::TaskletCtx& ctx);
+  void phase_lut_reduce(pim::TaskletCtx& ctx);
+  void phase_lut_quantize(pim::TaskletCtx& ctx);
+  void phase_combo_sums(const Phase& p, pim::TaskletCtx& ctx);
+  void phase_distance(const Phase& p, pim::TaskletCtx& ctx);
+  void phase_merge(const Phase& p, pim::TaskletCtx& ctx);
+
+  const DpuClusterData& cluster_of(std::uint32_t item) const {
+    return layout_.clusters[input_.items[item].cluster_slot];
+  }
+
+  const DpuStaticLayout& layout_;
+  const DpuLaunchInput& input_;
+  KernelMode mode_;
+  bool prune_topk_;
+  pim::Dpu* dpu_ = nullptr;
+
+  std::vector<Phase> program_;
+
+  // --- WRAM-resident state (offsets into the DPU's WRAM arena). The float
+  // and u16 LUTs share one region (quantization compacts in place).
+  std::size_t wram_lut_off = 0;
+  std::size_t wram_combo_off = 0;
+  std::size_t wram_query_off = 0;     ///< residual, float x dim
+  std::size_t wram_codebook_mark = 0; ///< rewind point for stage reuse
+  std::size_t wram_codebook_off = 0;
+  std::size_t per_tasklet_buf_bytes_ = 0;
+
+  // Functional state mirroring WRAM contents. Heaps are modeled functionally
+  // but their WRAM footprint is charged in setup().
+  std::vector<float> lut_f32_;
+  std::vector<float> tasklet_max_;     ///< per-tasklet LUT max (S1 input)
+  float lut_scale_ = 1.f;
+  std::vector<std::uint16_t> lut_u16_;
+  std::vector<std::uint32_t> combo_sums_;
+  std::vector<float> residual_;
+  std::vector<common::BoundedMaxHeap> local_heaps_;
+  common::BoundedMaxHeap global_heap_;
+
+  std::uint64_t merge_insertions_ = 0;
+  std::uint64_t merge_pruned_ = 0;
+  std::uint64_t scanned_elements_ = 0;
+  std::uint64_t scanned_records_ = 0;
+};
+
+}  // namespace upanns::core

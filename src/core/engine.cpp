@@ -1,0 +1,417 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "baselines/cpu_cost_model.hpp"
+#include "common/hw_specs.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "pim/transfer.hpp"
+
+namespace upanns::core {
+
+UpAnnsEngine::UpAnnsEngine(const ivf::IvfIndex& index,
+                           const ivf::ClusterStats& stats,
+                           UpAnnsOptions options)
+    : index_(index), options_(std::move(options)) {
+  if (options_.n_dpus == 0) throw std::invalid_argument("n_dpus == 0");
+  options_.placement.n_dpus = options_.n_dpus;
+
+  mode_ = options_.naive_raw_codes
+              ? KernelMode::kNaiveRaw
+              : (options_.opt_cae ? KernelMode::kCae
+                                  : KernelMode::kDirectTokens);
+
+  // --- Quantize the PQ codebooks to int8 (the WRAM-resident form; paper
+  // Sec 4.2.1 budgets D x 256 bytes). One scale per subspace.
+  const auto& pq = index_.pq();
+  const std::size_t m = pq.m();
+  const std::size_t dsub = pq.dsub();
+  codebook_q_.resize(m * 256 * dsub);
+  codebook_scales_.resize(m);
+  const std::span<const float> cb = pq.codebooks();
+  for (std::size_t s = 0; s < m; ++s) {
+    float mx = 0.f;
+    for (std::size_t i = 0; i < 256 * dsub; ++i) {
+      mx = std::max(mx, std::abs(cb[s * 256 * dsub + i]));
+    }
+    const float scale = mx > 0.f ? mx / 127.f : 1.f;
+    codebook_scales_[s] = scale;
+    for (std::size_t i = 0; i < 256 * dsub; ++i) {
+      codebook_q_[s * 256 * dsub + i] = static_cast<std::int8_t>(
+          std::lround(cb[s * 256 * dsub + i] / scale));
+    }
+  }
+
+  // --- Encode every cluster once (replicas share the encoding).
+  encodings_.resize(index_.n_clusters());
+  double weighted_reduction = 0;
+  std::size_t total_records = 0;
+  common::ThreadPool::global().parallel_for(
+      0, index_.n_clusters(),
+      [&](std::size_t c) {
+        const ivf::InvertedList& list = index_.list(c);
+        switch (mode_) {
+          case KernelMode::kCae:
+            encodings_[c] = cae_encode_cluster(list, m, options_.cae);
+            break;
+          case KernelMode::kDirectTokens:
+            encodings_[c] = direct_encode_cluster(list, m);
+            break;
+          case KernelMode::kNaiveRaw:
+            // Raw mode streams the original codes; keep only bookkeeping.
+            encodings_[c] = CaeClusterEncoding{};
+            encodings_[c].m = m;
+            encodings_[c].n_records = list.size();
+            encodings_[c].total_tokens = list.size() * m;
+            break;
+        }
+      },
+      1);
+  for (std::size_t c = 0; c < index_.n_clusters(); ++c) {
+    weighted_reduction += encodings_[c].length_reduction() *
+                          static_cast<double>(encodings_[c].n_records);
+    total_records += encodings_[c].n_records;
+  }
+  build_length_reduction_ =
+      total_records > 0 ? weighted_reduction / static_cast<double>(total_records)
+                        : 0;
+
+  // --- Place and load.
+  placement_ = options_.opt_placement
+                   ? place_clusters(index_, stats, options_.placement)
+                   : place_random(index_, stats, options_.placement,
+                                  options_.seed);
+  load_dpus(stats);
+}
+
+void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
+  placement_ = options_.opt_placement
+                   ? place_clusters(index_, stats, options_.placement)
+                   : place_random(index_, stats, options_.placement,
+                                  options_.seed);
+  load_dpus(stats);
+}
+
+void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
+  system_ = std::make_unique<pim::PimSystem>(options_.n_dpus);
+  per_dpu_.assign(options_.n_dpus, PerDpu{});
+
+  const std::size_t m = index_.pq_m();
+  const std::size_t dsub = index_.pq().dsub();
+  const std::size_t dim = index_.dim();
+
+  common::ThreadPool::global().parallel_for(
+      0, options_.n_dpus,
+      [&](std::size_t d) {
+        pim::Dpu& dpu = system_->dpu(d);
+        PerDpu& pd = per_dpu_[d];
+        pd.cluster_slot.assign(index_.n_clusters(), -1);
+        pd.layout.dim = dim;
+        pd.layout.m = m;
+        pd.layout.dsub = dsub;
+
+        pd.layout.codebook_off =
+            dpu.mram_alloc(codebook_q_.size(), "codebook");
+        dpu.host_write(pd.layout.codebook_off, codebook_q_.data(),
+                       codebook_q_.size());
+        pd.layout.cb_scale_off =
+            dpu.mram_alloc(codebook_scales_.size() * sizeof(float), "cb-scales");
+        dpu.host_write(pd.layout.cb_scale_off, codebook_scales_.data(),
+                       codebook_scales_.size() * sizeof(float));
+
+        for (std::uint32_t c : placement_.dpu_clusters[d]) {
+          const ivf::InvertedList& list = index_.list(c);
+          const CaeClusterEncoding& enc = encodings_[c];
+          DpuClusterData cd;
+          cd.cluster_id = c;
+          cd.n_records = static_cast<std::uint32_t>(list.size());
+
+          cd.ids_off = dpu.mram_alloc(list.ids.size() * sizeof(std::uint32_t),
+                                      "ids");
+          dpu.host_write(cd.ids_off, list.ids.data(),
+                         list.ids.size() * sizeof(std::uint32_t));
+
+          if (mode_ == KernelMode::kNaiveRaw) {
+            cd.stream_off = dpu.mram_alloc(list.codes.size(), "codes");
+            dpu.host_write(cd.stream_off, list.codes.data(),
+                           list.codes.size());
+            cd.stream_len = list.codes.size();
+          } else {
+            cd.stream_off = dpu.mram_alloc(
+                enc.tokens.size() * sizeof(std::uint16_t), "tokens");
+            dpu.host_write(cd.stream_off, enc.tokens.data(),
+                           enc.tokens.size() * sizeof(std::uint16_t));
+            cd.stream_len = enc.tokens.size();
+
+            // Chunk index: element offset of every kChunkRecords-th record.
+            std::vector<std::uint32_t> chunk_index;
+            std::size_t off = 0;
+            for (std::size_t r = 0; r < enc.n_records; ++r) {
+              if (r % kChunkRecords == 0) {
+                chunk_index.push_back(static_cast<std::uint32_t>(off));
+              }
+              off += 1 + enc.tokens[off];
+            }
+            cd.n_chunks = static_cast<std::uint32_t>(chunk_index.size());
+            if (!chunk_index.empty()) {
+              cd.chunk_index_off = dpu.mram_alloc(
+                  chunk_index.size() * sizeof(std::uint32_t), "chunk-index");
+              dpu.host_write(cd.chunk_index_off, chunk_index.data(),
+                             chunk_index.size() * sizeof(std::uint32_t));
+            }
+
+            if (!enc.combos.empty()) {
+              std::vector<std::uint8_t> packed(enc.combos.size() * 4);
+              for (std::size_t i = 0; i < enc.combos.size(); ++i) {
+                packed[4 * i + 0] = enc.combos[i].pos;
+                packed[4 * i + 1] = enc.combos[i].c0;
+                packed[4 * i + 2] = enc.combos[i].c1;
+                packed[4 * i + 3] = enc.combos[i].c2;
+              }
+              cd.combos_off = dpu.mram_alloc(packed.size(), "combos");
+              dpu.host_write(cd.combos_off, packed.data(), packed.size());
+              cd.n_combos = static_cast<std::uint32_t>(enc.combos.size());
+            }
+          }
+
+          cd.centroid_off = dpu.mram_alloc(dim * sizeof(float), "centroid");
+          dpu.host_write(cd.centroid_off, index_.centroid(c),
+                         dim * sizeof(float));
+
+          pd.cluster_slot[c] =
+              static_cast<std::int32_t>(pd.layout.clusters.size());
+          pd.layout.clusters.push_back(cd);
+        }
+        pd.static_mark = dpu.mram_mark();
+      },
+      1);
+}
+
+PimSearchReport UpAnnsEngine::search(const data::Dataset& queries) {
+  const auto probes = ivf::filter_batch(index_, queries, options_.nprobe);
+  return search_with_probes(queries, probes);
+}
+
+PimSearchReport UpAnnsEngine::search_with_probes(
+    const data::Dataset& queries,
+    const std::vector<std::vector<std::uint32_t>>& probes) {
+  PimSearchReport report;
+  const std::size_t nq = queries.n;
+  const std::size_t dim = index_.dim();
+  const std::size_t k = options_.k;
+  const std::size_t ndpu = options_.n_dpus;
+
+  // --- Host stage (a): cluster filtering, charged on the CPU roofline.
+  {
+    baselines::QueryWorkProfile p;
+    p.n_queries = nq;
+    p.n_clusters = index_.n_clusters();
+    p.dim = dim;
+    p.m = index_.pq_m();
+    p.k = k;
+    report.times.cluster_filter =
+        baselines::CpuCostModel::stage_times(p).cluster_filter;
+  }
+
+  // --- Scheduling (Algorithm 2), also host-side; O(|Q| * nprobe).
+  const std::vector<std::size_t> sizes = index_.list_sizes();
+  const Schedule sched = options_.opt_scheduling
+                             ? schedule_queries(probes, placement_, sizes)
+                             : schedule_naive(probes, placement_, sizes);
+  report.times.cluster_filter +=
+      static_cast<double>(sched.total_assignments()) * 16.0 / hw::kCpuFlops;
+
+  // --- Per-DPU launch inputs: unique query tables + assignment lists.
+  std::vector<DpuLaunchInput> inputs(ndpu);
+  std::vector<std::size_t> push_bytes(ndpu, 0);
+  const std::size_t read_bytes_cfg =
+      options_.mram_read_vectors == 0
+          ? 0
+          : options_.mram_read_vectors *
+                (mode_ == KernelMode::kNaiveRaw
+                     ? index_.pq_m()
+                     : (index_.pq_m() + 1) * sizeof(std::uint16_t));
+
+  common::ThreadPool::global().parallel_for(
+      0, ndpu,
+      [&](std::size_t d) {
+        const auto& assigns = sched.per_dpu[d];
+        if (assigns.empty()) return;
+        DpuLaunchInput& in = inputs[d];
+        in.k = k;
+        in.mram_read_bytes = read_bytes_cfg;
+
+        std::vector<std::int32_t> local_of(nq, -1);
+        std::vector<std::uint32_t> uniq;
+        for (const Assignment& a : assigns) {
+          if (local_of[a.query] < 0) {
+            local_of[a.query] = static_cast<std::int32_t>(uniq.size());
+            uniq.push_back(a.query);
+          }
+          in.items.push_back(
+              {static_cast<std::uint32_t>(local_of[a.query]),
+               static_cast<std::uint32_t>(per_dpu_[d].cluster_slot[a.cluster])});
+        }
+        in.n_queries = static_cast<std::uint32_t>(uniq.size());
+
+        // Scratch MRAM: query table + result slots (rewound every batch).
+        pim::Dpu& dpu = system_->dpu(d);
+        dpu.mram_rewind(per_dpu_[d].static_mark);
+        in.queries_off =
+            dpu.mram_alloc(uniq.size() * dim * sizeof(float), "batch-queries");
+        for (std::size_t i = 0; i < uniq.size(); ++i) {
+          dpu.host_write(in.queries_off + i * dim * sizeof(float),
+                         queries.row(uniq[i]), dim * sizeof(float));
+        }
+        in.results_off = dpu.mram_alloc(uniq.size() * k * 8, "batch-results");
+
+        push_bytes[d] =
+            uniq.size() * dim * sizeof(float) + in.items.size() * 4;
+      },
+      1);
+
+  // --- Push transfer: UpANNS pads per-DPU buffers to a uniform size so the
+  // transfer runs concurrently (Sec 2.2); PIM-naive pays the serialized path.
+  {
+    std::size_t max_bytes = 0;
+    for (std::size_t b : push_bytes) max_bytes = std::max(max_bytes, b);
+    pim::TransferStats ts;
+    if (options_.opt_scheduling) {
+      ts = pim::TransferEngine::uniform(ndpu, max_bytes);
+    } else {
+      ts = pim::TransferEngine::batch(push_bytes);
+    }
+    report.times.transfer += ts.seconds;
+    report.bytes_pushed = ts.bytes;
+    report.push_parallel = ts.parallel;
+  }
+
+  // --- Launch.
+  std::vector<std::unique_ptr<QueryKernel>> kernels(ndpu);
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!inputs[d].items.empty()) {
+      kernels[d] = std::make_unique<QueryKernel>(
+          per_dpu_[d].layout, inputs[d], mode_, options_.opt_prune_topk);
+    }
+  }
+  const pim::PimSystem::LaunchStats launch = system_->launch(
+      [&](std::size_t d) -> pim::DpuKernel* { return kernels[d].get(); },
+      options_.n_tasklets);
+  report.dpu_busy_seconds = launch.dpu_seconds;
+  {
+    std::vector<double> busy;
+    for (double s : launch.dpu_seconds) {
+      if (s > 0) busy.push_back(s);
+    }
+    report.balance_ratio = common::max_over_mean(busy);
+  }
+  {
+    std::vector<double> loads;
+    for (std::size_t d = 0; d < ndpu; ++d) {
+      if (!sched.per_dpu[d].empty()) loads.push_back(sched.dpu_workload[d]);
+    }
+    report.schedule_balance = common::max_over_mean(loads);
+  }
+  report.times.transfer += hw::kHostLaunchLatency;
+
+  // Per-DPU stage attribution; the slowest DPU sets the launch-critical
+  // breakdown (at-scale extrapolation re-derives the max after scaling).
+  report.dpu_stage_seconds.assign(ndpu, PimSearchReport::DpuStageSeconds{});
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!kernels[d]) continue;
+    report.total_instructions += launch.dpu_stats[d].instructions;
+    report.total_dma_cycles += launch.dpu_stats[d].dma_cycles;
+    const KernelStageCycles stages =
+        kernels[d]->attribute_stages(launch.dpu_stats[d].phase_cycles);
+    report.dpu_stage_seconds[d] = {
+        pim::DpuCostModel::cycles_to_seconds(stages.lut_build),
+        pim::DpuCostModel::cycles_to_seconds(stages.distance),
+        pim::DpuCostModel::cycles_to_seconds(stages.topk)};
+  }
+  if (kernels[launch.slowest_dpu]) {
+    const auto& crit = report.dpu_stage_seconds[launch.slowest_dpu];
+    report.times.lut_build = crit.lut;
+    report.times.distance_calc = crit.dist;
+    report.times.topk = crit.topk;
+  }
+
+  // --- Gather + host merge.
+  std::vector<std::vector<std::vector<common::Neighbor>>> per_query_lists(nq);
+  std::size_t max_gather = 0;
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!kernels[d]) continue;
+    const DpuLaunchInput& in = inputs[d];
+    max_gather = std::max(max_gather, static_cast<std::size_t>(in.n_queries) * k * 8);
+    std::vector<std::uint32_t> packed(2 * k);
+    // Recover the unique-query order used when building the input.
+    std::vector<std::int32_t> local_of(nq, -1);
+    std::vector<std::uint32_t> uniq;
+    for (const Assignment& a : sched.per_dpu[d]) {
+      if (local_of[a.query] < 0) {
+        local_of[a.query] = static_cast<std::int32_t>(uniq.size());
+        uniq.push_back(a.query);
+      }
+    }
+    for (std::size_t i = 0; i < uniq.size(); ++i) {
+      system_->dpu(d).host_read(in.results_off + i * k * 8, packed.data(),
+                                k * 8);
+      std::vector<common::Neighbor> list;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint32_t bits = packed[2 * j];
+        const std::uint32_t id = packed[2 * j + 1];
+        if (bits == 0xFFFFFFFFu && id == 0xFFFFFFFFu) break;  // unused slot
+        float dist;
+        std::memcpy(&dist, &bits, sizeof(dist));
+        list.push_back({dist, id});
+      }
+      per_query_lists[uniq[i]].push_back(std::move(list));
+    }
+    report.merge_insertions += kernels[d]->merge_insertions();
+    report.merge_pruned += kernels[d]->merge_pruned();
+    report.scanned_records += kernels[d]->scanned_records();
+    if (kernels[d]->scanned_records() > 0) {
+      report.length_reduction +=
+          (1.0 - static_cast<double>(kernels[d]->scanned_elements()) /
+                     (static_cast<double>(kernels[d]->scanned_records()) *
+                      static_cast<double>(index_.pq_m()))) *
+          static_cast<double>(kernels[d]->scanned_records());
+    }
+  }
+  if (report.scanned_records > 0) {
+    report.length_reduction /= static_cast<double>(report.scanned_records);
+  }
+
+  {
+    const pim::TransferStats ts = pim::TransferEngine::uniform(ndpu, max_gather);
+    report.times.transfer += ts.seconds;
+    report.bytes_gathered = ts.bytes;
+  }
+
+  report.neighbors.resize(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    report.neighbors[q] = common::merge_sorted_topk(per_query_lists[q], k);
+  }
+  // Host-side final merge cost: ~(lists * k) heap ops per query. Charged to
+  // the transfer/host bucket so the DPU top-k stage stays scale-attributable.
+  {
+    double ops = 0;
+    for (const auto& lists : per_query_lists) {
+      ops += static_cast<double>(lists.size()) * static_cast<double>(k) * 8.0;
+    }
+    report.times.transfer += ops / hw::kCpuFlops;
+  }
+
+  report.n_dpus = options_.n_dpus;
+  const double total = report.times.total();
+  report.qps = total > 0 ? static_cast<double>(nq) / total : 0;
+  report.qps_per_watt =
+      pim::qps_per_watt(report.qps, pim::Platform::kPim, options_.n_dpus);
+  return report;
+}
+
+}  // namespace upanns::core

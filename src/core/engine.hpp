@@ -1,0 +1,194 @@
+// UpAnnsEngine — the end-to-end system (paper Fig 5).
+//
+// Offline (build): collect cluster stats from a query history, encode every
+// cluster (Opt3), place replicas across DPUs (Opt1), and load MRAM images
+// (codebooks, centroids, id arrays, token streams, combo tables).
+//
+// Online (search): host-side cluster filtering and greedy scheduling (Opt1),
+// uniform-size transfers to MRAM, one kernel launch over all DPUs (Opt2/4),
+// gather + final host merge. All timing is simulated (see DESIGN.md): the
+// report contains the four-stage breakdown, per-DPU busy times, balance
+// ratio, energy metrics and CAE statistics.
+//
+// Every optimization can be toggled independently, which is how the ablation
+// benches (Figs 11, 13-17) are driven; `UpAnnsOptions::pim_naive()` yields
+// the paper's PIM-naive baseline (random placement, naive scheduling, raw
+// codes, unpruned merge — but with the Opt2 resource management retained,
+// exactly as Sec 5.1 defines it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/stage_times.hpp"
+#include "common/topk.hpp"
+#include "core/cae.hpp"
+#include "core/dpu_kernel.hpp"
+#include "core/placement.hpp"
+#include "core/scheduler.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "pim/dpu.hpp"
+#include "pim/energy.hpp"
+
+namespace upanns::core {
+
+struct UpAnnsOptions {
+  std::size_t n_dpus = 896;          ///< 7 DIMMs (Table 1)
+  unsigned n_tasklets = 11;          ///< pipeline saturation point (Fig 13)
+  std::size_t k = 10;
+  std::size_t nprobe = 64;
+  /// MRAM read granularity for the distance stage, in vectors (Fig 17;
+  /// default 16 per Sec 5.4.2). 0 = one maximal DMA per chunk.
+  std::size_t mram_read_vectors = 16;
+
+  bool opt_placement = true;         ///< Opt1 offline (Algorithm 1)
+  bool opt_scheduling = true;        ///< Opt1 online (Algorithm 2)
+  bool opt_cae = true;               ///< Opt3
+  bool opt_prune_topk = true;        ///< Opt4
+  /// When CAE is off, UpANNS still streams direct-address tokens; PIM-naive
+  /// streams raw u8 codes and pays address arithmetic.
+  bool naive_raw_codes = false;
+
+  CaeOptions cae;
+  PlacementOptions placement;
+  std::uint64_t seed = 11;
+
+  static UpAnnsOptions upanns() { return UpAnnsOptions{}; }
+  static UpAnnsOptions pim_naive() {
+    UpAnnsOptions o;
+    o.opt_placement = false;
+    o.opt_scheduling = false;
+    o.opt_cae = false;
+    o.opt_prune_topk = false;
+    o.naive_raw_codes = true;
+    return o;
+  }
+};
+
+struct PimSearchReport {
+  std::vector<std::vector<common::Neighbor>> neighbors;
+  baselines::StageTimes times;
+  double qps = 0;
+  double qps_per_watt = 0;
+
+  /// Per-DPU stage seconds (only active DPUs are non-zero) — the substrate
+  /// for at-scale extrapolation and the breakdown figures.
+  struct DpuStageSeconds {
+    double lut = 0, dist = 0, topk = 0;
+    double total() const { return lut + dist + topk; }
+  };
+  std::vector<DpuStageSeconds> dpu_stage_seconds;
+
+  /// Per-DPU busy seconds for this batch and the Fig 11 balance metric.
+  std::vector<double> dpu_busy_seconds;
+  double balance_ratio = 0;          ///< max/mean of per-DPU busy time
+  /// max/mean of *scheduled scanned vectors* per DPU — the paper's Fig 11
+  /// "maximum process / average process" metric (scale-free).
+  double schedule_balance = 0;
+
+  std::size_t bytes_pushed = 0;
+  std::size_t bytes_gathered = 0;
+  bool push_parallel = true;
+
+  // Opt3/Opt4 visibility.
+  double length_reduction = 0;       ///< scanned-stream reduction (Fig 14)
+  std::uint64_t merge_insertions = 0;
+  std::uint64_t merge_pruned = 0;    ///< comparisons skipped (Fig 15)
+  std::uint64_t scanned_records = 0;
+  std::uint64_t total_instructions = 0;  ///< across all DPUs, this batch
+  std::uint64_t total_dma_cycles = 0;
+  std::size_t n_dpus = 0;
+
+  double total_seconds() const { return times.total(); }
+
+  /// Linear-work extrapolation (see DESIGN.md): the distance stage scales
+  /// with per-list work (`data_factor`) and with how many DPUs share the
+  /// batch; LUT construction and top-k merging are per-assignment costs, so
+  /// they scale with the per-DPU assignment count (`dpu_factor` =
+  /// dpus_actual / dpus_target). Transfers and host stages are reported as
+  /// measured.
+  PimSearchReport at_scale(double data_factor, double dpu_factor = 1.0) const {
+    PimSearchReport r = *this;
+    // Scale every DPU's stages, then let the slowest *scaled* DPU set the
+    // launch-critical path (balance is preserved through the max).
+    double best = -1.0;
+    DpuStageSeconds crit;
+    for (DpuStageSeconds s : dpu_stage_seconds) {
+      s.lut *= dpu_factor;
+      s.dist *= data_factor * dpu_factor;
+      s.topk *= dpu_factor;
+      if (s.total() > best) {
+        best = s.total();
+        crit = s;
+      }
+    }
+    if (best >= 0) {
+      r.times.lut_build = crit.lut;
+      r.times.distance_calc = crit.dist;
+      r.times.topk = crit.topk;
+    }
+    const double total = r.times.total();
+    r.qps = total > 0 ? static_cast<double>(neighbors.size()) / total : 0;
+    r.qps_per_watt =
+        pim::qps_per_watt(r.qps, pim::Platform::kPim, n_dpus);
+    return r;
+  }
+};
+
+class UpAnnsEngine {
+ public:
+  /// Build the PIM-resident index. `stats` supplies s_i / f_i for placement.
+  UpAnnsEngine(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+               UpAnnsOptions options);
+
+  /// Search one batch.
+  PimSearchReport search(const data::Dataset& queries);
+
+  /// Search with externally computed probe lists (shared with baselines).
+  PimSearchReport search_with_probes(
+      const data::Dataset& queries,
+      const std::vector<std::vector<std::uint32_t>>& probes);
+
+  const UpAnnsOptions& options() const { return options_; }
+  UpAnnsOptions& mutable_options() { return options_; }
+  const Placement& placement() const { return placement_; }
+  const ivf::IvfIndex& index() const { return index_; }
+  pim::PimSystem& system() { return *system_; }
+
+  /// Average CAE length reduction over resident clusters (build-time stat).
+  double build_length_reduction() const { return build_length_reduction_; }
+
+  /// Rebuild the replica layout for a new frequency profile — the adaptive
+  /// path of Sec 4.1.2 (short-term: adjust copies; here realized as a fresh
+  /// Algorithm 1 pass + MRAM reload, without retraining the index).
+  void relocate(const ivf::ClusterStats& stats);
+
+ private:
+  void load_dpus(const ivf::ClusterStats& stats);
+
+  struct PerDpu {
+    DpuStaticLayout layout;
+    std::size_t static_mark = 0;
+    std::vector<std::int32_t> cluster_slot;  ///< cluster id -> slot (-1 none)
+  };
+
+  const ivf::IvfIndex& index_;
+  UpAnnsOptions options_;
+  Placement placement_;
+  std::unique_ptr<pim::PimSystem> system_;
+  std::vector<PerDpu> per_dpu_;
+
+  // Shared (all-DPU) quantized codebook image.
+  std::vector<std::int8_t> codebook_q_;
+  std::vector<float> codebook_scales_;
+
+  // Cluster encodings, shared across replicas.
+  std::vector<CaeClusterEncoding> encodings_;
+  double build_length_reduction_ = 0;
+
+  KernelMode mode_ = KernelMode::kCae;
+};
+
+}  // namespace upanns::core

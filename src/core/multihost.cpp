@@ -1,0 +1,101 @@
+#include "core/multihost.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace upanns::core {
+
+MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
+                                 const ivf::ClusterStats& stats,
+                                 MultiHostOptions options)
+    : index_(index), options_(std::move(options)) {
+  if (options_.n_hosts == 0) {
+    throw std::invalid_argument("MultiHostUpAnns: n_hosts == 0");
+  }
+  const std::size_t nc = index.n_clusters();
+  owner_.assign(nc, 0);
+
+  // Largest-workload-first onto the least-loaded host: whole clusters only,
+  // mirroring Opt1's DPU-level rule one level up.
+  std::vector<std::uint32_t> order(nc);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return stats.workloads[a] > stats.workloads[b];
+  });
+  std::vector<double> host_load(options_.n_hosts, 0.0);
+  for (std::uint32_t c : order) {
+    const std::size_t h = static_cast<std::size_t>(
+        std::min_element(host_load.begin(), host_load.end()) -
+        host_load.begin());
+    owner_[c] = static_cast<std::uint32_t>(h);
+    host_load[h] += stats.workloads[c];
+  }
+
+  // Per-host stats: foreign clusters appear empty, so placement skips them
+  // and the scheduler never routes their probes to this host.
+  engines_.reserve(options_.n_hosts);
+  for (std::size_t h = 0; h < options_.n_hosts; ++h) {
+    ivf::ClusterStats shard = stats;
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (owner_[c] != h) {
+        shard.sizes[c] = 0;
+        shard.workloads[c] = 0;
+      }
+    }
+    engines_.push_back(
+        std::make_unique<UpAnnsEngine>(index_, shard, options_.per_host));
+  }
+}
+
+MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
+  MultiHostReport report;
+  const std::size_t nq = queries.n;
+  const std::size_t k = options_.per_host.k;
+
+  // One cluster-filtering pass on the coordinator, shared with every host
+  // (hosts hold the same centroids; re-filtering locally would give the same
+  // lists, so we time it once inside each engine's report anyway).
+  const auto probes =
+      ivf::filter_batch(index_, queries, options_.per_host.nprobe);
+
+  // Broadcast the batch: each host receives every query vector.
+  const double bcast_bytes =
+      static_cast<double>(nq) * static_cast<double>(queries.dim) * 4.0;
+  report.network_seconds +=
+      options_.network_latency +
+      bcast_bytes / options_.network_bandwidth;  // pipelined to all hosts
+
+  std::vector<std::vector<std::vector<common::Neighbor>>> per_host_results;
+  per_host_results.reserve(engines_.size());
+  for (auto& engine : engines_) {
+    auto r = engine->search_with_probes(queries, probes);
+    report.slowest_host_seconds =
+        std::max(report.slowest_host_seconds, r.times.total());
+    report.host_times.push_back(r.times);
+    per_host_results.push_back(std::move(r.neighbors));
+  }
+
+  // Gather: every host returns k results per query; coordinator merges.
+  const double gather_bytes = static_cast<double>(engines_.size()) *
+                              static_cast<double>(nq) *
+                              static_cast<double>(k) * 8.0;
+  report.network_seconds +=
+      options_.network_latency + gather_bytes / options_.network_bandwidth;
+
+  report.neighbors.resize(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::vector<std::vector<common::Neighbor>> lists;
+    lists.reserve(engines_.size());
+    for (auto& host : per_host_results) lists.push_back(std::move(host[q]));
+    report.neighbors[q] = common::merge_sorted_topk(lists, k);
+  }
+
+  report.seconds = report.slowest_host_seconds + report.network_seconds;
+  report.qps = report.seconds > 0
+                   ? static_cast<double>(nq) / report.seconds
+                   : 0;
+  return report;
+}
+
+}  // namespace upanns::core

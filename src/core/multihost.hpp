@@ -1,0 +1,60 @@
+// Multi-host UpANNS (paper Sec 5.5): "UpANNS can be easily extended to
+// multi-host configurations. Only query distribution and result aggregation
+// require cross-host communication. The core memory-intensive search
+// operations remain local to each host."
+//
+// Each host runs a full UpAnnsEngine over a *cluster shard* of one shared
+// IVFPQ index (whole clusters never split — the same rule Opt1 applies to
+// DPUs). A batch is broadcast to every host, each host filters/schedules/
+// searches its own clusters on its own PIM DIMMs, and the coordinator merges
+// the per-host top-k lists. The network cost model charges the broadcast and
+// the gather; everything else is host-local.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace upanns::core {
+
+struct MultiHostOptions {
+  std::size_t n_hosts = 2;
+  UpAnnsOptions per_host;           ///< PIM configuration of each host
+  /// Coordinator <-> host link bandwidth (bytes/s); 25 GbE by default.
+  double network_bandwidth = 25e9 / 8;
+  double network_latency = 50e-6;   ///< per-message one-way latency
+};
+
+struct MultiHostReport {
+  std::vector<std::vector<common::Neighbor>> neighbors;
+  double seconds = 0;               ///< simulated batch wall time
+  double qps = 0;
+  double network_seconds = 0;       ///< broadcast + gather share
+  double slowest_host_seconds = 0;
+  std::vector<baselines::StageTimes> host_times;
+};
+
+class MultiHostUpAnns {
+ public:
+  /// Shard the index's clusters across hosts (largest-first onto the
+  /// least-loaded host, by workload) and build one engine per host.
+  MultiHostUpAnns(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+                  MultiHostOptions options);
+
+  std::size_t n_hosts() const { return engines_.size(); }
+  /// Which host owns a cluster.
+  std::uint32_t host_of(std::size_t cluster) const { return owner_[cluster]; }
+  UpAnnsEngine& host_engine(std::size_t h) { return *engines_[h]; }
+
+  MultiHostReport search(const data::Dataset& queries);
+
+ private:
+  const ivf::IvfIndex& index_;
+  MultiHostOptions options_;
+  std::vector<std::uint32_t> owner_;
+  std::vector<std::unique_ptr<UpAnnsEngine>> engines_;
+};
+
+}  // namespace upanns::core

@@ -1,0 +1,108 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace upanns::core {
+
+double Schedule::balance_ratio() const {
+  return common::max_over_mean(dpu_workload);
+}
+
+std::size_t Schedule::total_assignments() const {
+  std::size_t t = 0;
+  for (const auto& a : per_dpu) t += a.size();
+  return t;
+}
+
+Schedule schedule_queries(const std::vector<std::vector<std::uint32_t>>& probes,
+                          const Placement& placement,
+                          const std::vector<std::size_t>& cluster_sizes) {
+  const std::size_t ndpu = placement.n_dpus();
+  Schedule out;
+  out.per_dpu.resize(ndpu);
+  out.dpu_workload.assign(ndpu, 0.0);
+
+  // Pass 1 (Alg 2 lines 2-7): forced assignments for single-replica
+  // clusters; collect the rest as (cluster, query) work items.
+  struct Pending {
+    std::uint32_t cluster;
+    std::uint32_t query;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t q = 0; q < probes.size(); ++q) {
+    for (std::uint32_t c : probes[q]) {
+      const auto& dpus = placement.cluster_dpus[c];
+      if (dpus.empty()) continue;  // empty cluster: nothing to scan
+      if (dpus.size() == 1) {
+        out.per_dpu[dpus[0]].push_back(
+            {static_cast<std::uint32_t>(q), c});
+        out.dpu_workload[dpus[0]] +=
+            static_cast<double>(cluster_sizes[c]);
+      } else {
+        pending.push_back({c, static_cast<std::uint32_t>(q)});
+      }
+    }
+  }
+
+  // Pass 2 (lines 8-14): replicated clusters, largest first, each to the
+  // least-loaded holder. stable_sort keeps query order deterministic.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](const Pending& a, const Pending& b) {
+                     return cluster_sizes[a.cluster] > cluster_sizes[b.cluster];
+                   });
+  for (const Pending& p : pending) {
+    const auto& dpus = placement.cluster_dpus[p.cluster];
+    const double sz = static_cast<double>(cluster_sizes[p.cluster]);
+    std::uint32_t best = dpus[0];
+    double best_w = std::numeric_limits<double>::infinity();
+    for (std::uint32_t d : dpus) {
+      if (out.dpu_workload[d] + sz < best_w) {
+        best_w = out.dpu_workload[d] + sz;
+        best = d;
+      }
+    }
+    out.per_dpu[best].push_back({p.query, p.cluster});
+    out.dpu_workload[best] += sz;
+  }
+
+  // Group each DPU's assignments by query so thread-local heaps carry across
+  // the clusters of one query before merging (paper Sec 4.2.1).
+  for (auto& list : out.per_dpu) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Assignment& a, const Assignment& b) {
+                       return a.query < b.query;
+                     });
+  }
+  return out;
+}
+
+Schedule schedule_naive(const std::vector<std::vector<std::uint32_t>>& probes,
+                        const Placement& placement,
+                        const std::vector<std::size_t>& cluster_sizes) {
+  const std::size_t ndpu = placement.n_dpus();
+  Schedule out;
+  out.per_dpu.resize(ndpu);
+  out.dpu_workload.assign(ndpu, 0.0);
+  for (std::size_t q = 0; q < probes.size(); ++q) {
+    for (std::uint32_t c : probes[q]) {
+      const auto& dpus = placement.cluster_dpus[c];
+      if (dpus.empty()) continue;
+      out.per_dpu[dpus[0]].push_back({static_cast<std::uint32_t>(q), c});
+      out.dpu_workload[dpus[0]] += static_cast<double>(cluster_sizes[c]);
+    }
+  }
+  for (auto& list : out.per_dpu) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Assignment& a, const Assignment& b) {
+                       return a.query < b.query;
+                     });
+  }
+  return out;
+}
+
+}  // namespace upanns::core

@@ -1,0 +1,45 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace upanns::core {
+
+TuneResult tune_nprobe(
+    const ivf::IvfIndex& index, const data::Dataset& validation_queries,
+    const std::vector<std::vector<common::Neighbor>>& ground_truth,
+    const TuneOptions& options) {
+  if (validation_queries.n == 0 ||
+      ground_truth.size() != validation_queries.n) {
+    throw std::invalid_argument("tune_nprobe: bad validation set");
+  }
+
+  std::vector<std::size_t> grid = options.grid;
+  if (grid.empty()) {
+    for (std::size_t p = 1; p < index.n_clusters(); p *= 2) grid.push_back(p);
+    grid.push_back(index.n_clusters());
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  baselines::CpuIvfpqSearcher searcher(index);
+  TuneResult result;
+  for (const std::size_t nprobe : grid) {
+    baselines::SearchParams params;
+    params.nprobe = nprobe;
+    params.k = options.k;
+    const auto res = searcher.search(validation_queries, params);
+    const double recall =
+        data::recall_at_k(ground_truth, res.neighbors, options.k);
+    result.curve.emplace_back(nprobe, recall);
+    result.nprobe = nprobe;
+    result.recall = recall;
+    if (recall >= options.target_recall) {
+      result.target_met = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace upanns::core

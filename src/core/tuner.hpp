@@ -1,0 +1,39 @@
+// Recall-driven parameter tuning. The paper's evaluation sweeps nprobe
+// manually; deployments instead pin a recall target (e.g. recall@10 >= 0.9)
+// and want the cheapest nprobe that achieves it (cf. VDTuner in the paper's
+// related work — here a simple exact search over the monotone recall/nprobe
+// curve, evaluated on a held-out validation set).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/cpu_ivfpq.hpp"
+#include "data/ground_truth.hpp"
+
+namespace upanns::core {
+
+struct TuneOptions {
+  double target_recall = 0.9;
+  std::size_t k = 10;
+  /// Candidate nprobe grid; empty = powers of two up to n_clusters.
+  std::vector<std::size_t> grid;
+};
+
+struct TuneResult {
+  std::size_t nprobe = 0;      ///< smallest grid value meeting the target
+  double recall = 0;           ///< recall achieved at that nprobe
+  bool target_met = false;     ///< false: even the largest nprobe fell short
+  /// The full measured curve, ascending in nprobe.
+  std::vector<std::pair<std::size_t, double>> curve;
+};
+
+/// Tune nprobe on a validation query set with exact ground truth.
+/// Exploits monotonicity: recall@k is non-decreasing in nprobe, so the scan
+/// stops at the first grid point meeting the target.
+TuneResult tune_nprobe(const ivf::IvfIndex& index,
+                       const data::Dataset& validation_queries,
+                       const std::vector<std::vector<common::Neighbor>>& ground_truth,
+                       const TuneOptions& options);
+
+}  // namespace upanns::core

@@ -1,0 +1,25 @@
+// Exact (brute-force) nearest-neighbor computation and recall@k scoring —
+// the accuracy yardstick for every approximate path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace upanns::data {
+
+/// Exact L2 top-k for each query (row-major queries, nq x dim).
+/// Parallelized over queries. Returns nq lists of ascending neighbors.
+std::vector<std::vector<common::Neighbor>> exact_topk(const Dataset& base,
+                                                      const Dataset& queries,
+                                                      std::size_t k);
+
+/// recall@k = |approx ∩ exact| / k averaged over queries. Both inputs must
+/// hold at least k entries per query (extra entries are ignored).
+double recall_at_k(const std::vector<std::vector<common::Neighbor>>& exact,
+                   const std::vector<std::vector<common::Neighbor>>& approx,
+                   std::size_t k);
+
+}  // namespace upanns::data

@@ -1,0 +1,28 @@
+// Readers/writers for the TEXMEX vector formats used by the real benchmarks
+// (http://corpus-texmex.irisa.fr/): .fvecs (float32), .bvecs (uint8) and
+// .ivecs (int32). Each row is [int32 dim][dim elements]. When real SIFT1B /
+// DEEP1B / SPACEV1B files are available they can be dropped in via these
+// loaders; the rest of the pipeline is format-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace upanns::data {
+
+/// Read at most `max_rows` rows (0 = all). Throws std::runtime_error on
+/// malformed files.
+Dataset read_fvecs(const std::string& path, std::size_t max_rows = 0);
+Dataset read_bvecs(const std::string& path, std::size_t max_rows = 0);
+std::vector<std::vector<std::int32_t>> read_ivecs(const std::string& path,
+                                                  std::size_t max_rows = 0);
+
+void write_fvecs(const std::string& path, const Dataset& ds);
+void write_bvecs(const std::string& path, const Dataset& ds);
+void write_ivecs(const std::string& path,
+                 const std::vector<std::vector<std::int32_t>>& rows);
+
+}  // namespace upanns::data

@@ -1,0 +1,68 @@
+#include "data/query_workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace upanns::data {
+
+QueryWorkload generate_workload(const Dataset& base, const WorkloadSpec& spec,
+                                std::size_t n_regions) {
+  assert(!base.empty());
+  common::Rng rng(spec.seed);
+  n_regions = std::max<std::size_t>(1, std::min(n_regions, base.n));
+  common::ZipfSampler zipf(n_regions, spec.zipf_exponent);
+
+  QueryWorkload wl;
+  wl.queries.dim = base.dim;
+  wl.queries.n = spec.n_queries;
+  wl.queries.values.resize(spec.n_queries * base.dim);
+  wl.source_points.resize(spec.n_queries);
+
+  const std::size_t region_len = (base.n + n_regions - 1) / n_regions;
+  for (std::size_t q = 0; q < spec.n_queries; ++q) {
+    std::size_t region = zipf.sample(rng);
+    region = (region + spec.popularity_shift) % n_regions;
+    const std::size_t lo = region * region_len;
+    const std::size_t hi = std::min(base.n, lo + region_len);
+    const std::size_t src = lo + rng.below(std::max<std::size_t>(1, hi - lo));
+    wl.source_points[q] = static_cast<std::uint32_t>(std::min(src, base.n - 1));
+
+    const float* p = base.row(wl.source_points[q]);
+    float* out = wl.queries.row(q);
+    // Jitter proportional to the average magnitude of the source vector.
+    double mag = 0;
+    for (std::size_t d = 0; d < base.dim; ++d) mag += std::abs(p[d]);
+    mag /= static_cast<double>(base.dim);
+    const double sigma = spec.jitter * std::max(mag, 1e-3);
+    for (std::size_t d = 0; d < base.dim; ++d) {
+      out[d] = p[d] + static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+  }
+  return wl;
+}
+
+std::vector<double> estimate_frequencies(
+    const std::vector<std::vector<std::uint32_t>>& history,
+    std::size_t n_clusters) {
+  std::vector<double> freq(n_clusters, 0.0);
+  double total = 0;
+  for (const auto& probe : history) {
+    for (std::uint32_t c : probe) {
+      if (c < n_clusters) {
+        freq[c] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  // Floor so never-seen clusters still get placed with nonzero workload.
+  const double floor_mass = total > 0 ? 0.1 : 1.0;
+  for (auto& f : freq) f += floor_mass;
+  total += floor_mass * static_cast<double>(n_clusters);
+  for (auto& f : freq) f /= total;
+  return freq;
+}
+
+}  // namespace upanns::data

@@ -1,0 +1,47 @@
+// Query workload generation with Zipfian cluster popularity (Fig 4a) and
+// optional drift, plus the historical-frequency estimator that feeds the
+// offline data-placement stage (paper Sec 4.1: f_i is "historical access
+// frequency").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace upanns::data {
+
+struct WorkloadSpec {
+  std::size_t n_queries = 1000;   ///< the paper processes 1,000 at a time
+  /// Zipf exponent of cluster popularity. ~0.9-1.2 reproduces the ~500x
+  /// frequency spread of Fig 4a.
+  double zipf_exponent = 1.0;
+  /// Query = jittered copy of a base point from a popular region; the jitter
+  /// is this fraction of the point's magnitude.
+  double jitter = 0.05;
+  std::uint64_t seed = 99;
+  /// Rotates the popularity ranking by this many positions — used to emulate
+  /// the gradual query-pattern drift discussed in Sec 4.1.2.
+  std::size_t popularity_shift = 0;
+};
+
+struct QueryWorkload {
+  Dataset queries;
+  /// For diagnostics: which base point each query was derived from.
+  std::vector<std::uint32_t> source_points;
+};
+
+/// Draw queries near base points whose *generative region* popularity is
+/// Zipf-distributed: base point indices are ranked into `n_regions` buckets
+/// and a Zipf-chosen bucket supplies each query.
+QueryWorkload generate_workload(const Dataset& base, const WorkloadSpec& spec,
+                                std::size_t n_regions = 256);
+
+/// Estimate per-cluster access frequencies from a history of filtered cluster
+/// id lists (one list per past query). Returns frequencies normalized so
+/// they sum to 1; clusters never accessed get a small floor > 0.
+std::vector<double> estimate_frequencies(
+    const std::vector<std::vector<std::uint32_t>>& history,
+    std::size_t n_clusters);
+
+}  // namespace upanns::data

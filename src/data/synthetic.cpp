@@ -1,0 +1,243 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace upanns::data {
+
+const char* family_name(DatasetFamily f) {
+  switch (f) {
+    case DatasetFamily::kSiftLike: return "SIFT1B-like";
+    case DatasetFamily::kDeepLike: return "DEEP1B-like";
+    case DatasetFamily::kSpacevLike: return "SPACEV1B-like";
+  }
+  return "?";
+}
+
+std::size_t family_dim(DatasetFamily f) {
+  switch (f) {
+    case DatasetFamily::kSiftLike: return 128;
+    case DatasetFamily::kDeepLike: return 96;
+    case DatasetFamily::kSpacevLike: return 100;
+  }
+  return 0;
+}
+
+std::size_t family_pq_m(DatasetFamily f) {
+  switch (f) {
+    case DatasetFamily::kSiftLike: return 16;   // 128d -> 16 codes
+    case DatasetFamily::kDeepLike: return 12;   // 96d  -> 12 codes
+    case DatasetFamily::kSpacevLike: return 20; // 100d -> 20 codes
+  }
+  return 0;
+}
+
+double family_size_sigma(DatasetFamily f) {
+  switch (f) {
+    case DatasetFamily::kSiftLike: return 1.3;
+    case DatasetFamily::kDeepLike: return 2.3;
+    case DatasetFamily::kSpacevLike: return 1.8;
+  }
+  return 1.6;
+}
+
+double family_dense_core_frac(DatasetFamily f) {
+  // Only DEEP1B-like data carries the near-duplicate clump (see
+  // SyntheticSpec::dense_core_frac).
+  return f == DatasetFamily::kDeepLike ? 0.04 : 0.0;
+}
+
+namespace {
+
+// Value post-processing so the three families have distinct distributions:
+// SIFT descriptors are non-negative byte-ish magnitudes, DEEP vectors are
+// L2-normalized floats, SPACEV entries are small signed integers.
+void family_postprocess(DatasetFamily family, float* vec, std::size_t dim) {
+  switch (family) {
+    case DatasetFamily::kSiftLike:
+      // SIFT descriptors are byte-valued magnitudes.
+      for (std::size_t d = 0; d < dim; ++d) {
+        vec[d] = std::round(std::clamp(vec[d], 0.f, 255.f));
+      }
+      break;
+    case DatasetFamily::kDeepLike: {
+      double norm = 0;
+      for (std::size_t d = 0; d < dim; ++d) norm += vec[d] * vec[d];
+      const float inv = norm > 0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.f;
+      for (std::size_t d = 0; d < dim; ++d) vec[d] *= inv;
+      break;
+    }
+    case DatasetFamily::kSpacevLike:
+      for (std::size_t d = 0; d < dim; ++d) {
+        vec[d] = std::round(std::clamp(vec[d], -127.f, 127.f));
+      }
+      break;
+  }
+}
+
+// Base scale of centroids / residuals per family (pre-postprocessing).
+struct FamilyScales {
+  float centroid_lo, centroid_hi, residual_sigma;
+};
+
+FamilyScales family_scales(DatasetFamily family) {
+  switch (family) {
+    case DatasetFamily::kSiftLike: return {20.f, 200.f, 18.f};
+    case DatasetFamily::kDeepLike: return {-1.f, 1.f, 0.25f};
+    case DatasetFamily::kSpacevLike: return {-80.f, 80.f, 14.f};
+  }
+  return {0.f, 1.f, 1.f};
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const SyntheticSpec& spec) {
+  const std::size_t dim = spec.dim();
+  const std::size_t m = spec.pq_m();
+  if (dim == 0 || spec.n == 0) throw std::invalid_argument("empty spec");
+  const std::size_t dsub = dim / m;
+  common::Rng rng(spec.seed);
+  const FamilyScales scales = family_scales(spec.family);
+
+  // 1. Natural cluster centroids.
+  const std::size_t nc = std::min(spec.n_natural_clusters, spec.n);
+  std::vector<float> centroids(nc * dim);
+  for (auto& v : centroids) {
+    v = rng.uniform(scales.centroid_lo, scales.centroid_hi);
+  }
+
+  // 2. Log-normal cluster sizes, normalized to sum to n (Fig 4b skew).
+  common::LogNormalSampler sizer(0.0, spec.size_sigma);
+  std::vector<double> weights(nc);
+  double total = 0;
+  for (auto& w : weights) {
+    w = sizer.sample(rng);
+    total += w;
+  }
+  std::vector<std::size_t> sizes(nc);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    sizes[c] = static_cast<std::size_t>(weights[c] / total * spec.n);
+    assigned += sizes[c];
+  }
+  // Distribute the rounding remainder to the largest clusters.
+  for (std::size_t c = 0; assigned < spec.n; c = (c + 1) % nc) {
+    ++sizes[c];
+    ++assigned;
+  }
+
+  // 3. Per-cluster residual pattern pools over 3-subspace groups. A "group"
+  //    covers 3 consecutive PQ subspaces (3 * dsub dims) so that pool reuse
+  //    shows up as position-aligned code triplets after PQ encoding.
+  const std::size_t group_dims = 3 * dsub;
+  const std::size_t n_groups = dim / group_dims;  // remainder handled as noise
+  std::vector<float> pools(nc * n_groups * spec.pattern_pool * group_dims);
+  for (auto& v : pools) {
+    v = static_cast<float>(rng.gaussian(0.0, scales.residual_sigma));
+  }
+  common::ZipfSampler pattern_picker(spec.pattern_pool, spec.pattern_zipf);
+
+  // 4. Emit points cluster by cluster (deterministic order), then shuffle ids
+  //    so storage order carries no cluster information.
+  Dataset ds;
+  ds.dim = dim;
+  ds.n = spec.n;
+  ds.values.resize(spec.n * dim);
+  std::size_t row = 0;
+
+  // Dense near-duplicate core (see SyntheticSpec::dense_core_frac): one
+  // clump whose internal spread is negligible, so k-means cannot profitably
+  // split it and it stays one oversized inverted list.
+  const std::size_t core_points =
+      static_cast<std::size_t>(spec.dense_core_frac * static_cast<double>(spec.n));
+  if (core_points > 0) {
+    std::vector<float> core_center(dim);
+    for (auto& v : core_center) {
+      v = rng.uniform(scales.centroid_lo, scales.centroid_hi);
+    }
+    for (std::size_t i = 0; i < core_points && row < spec.n; ++i, ++row) {
+      float* out = ds.row(row);
+      for (std::size_t d = 0; d < dim; ++d) {
+        out[d] = core_center[d] +
+                 static_cast<float>(rng.gaussian(0.0, scales.residual_sigma * 1e-3));
+      }
+      family_postprocess(spec.family, out, dim);
+    }
+    // Shrink the regular clusters to keep the total at n.
+    std::size_t to_remove = core_points;
+    for (std::size_t c = 0; to_remove > 0; c = (c + 1) % nc) {
+      if (sizes[c] > 0) {
+        --sizes[c];
+        --to_remove;
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < nc; ++c) {
+    const float* ctr = centroids.data() + c * dim;
+    for (std::size_t i = 0; i < sizes[c]; ++i, ++row) {
+      float* out = ds.row(row);
+      // Start from fresh Gaussian noise everywhere...
+      for (std::size_t d = 0; d < dim; ++d) {
+        out[d] = ctr[d] + static_cast<float>(rng.gaussian(0.0, scales.residual_sigma));
+      }
+      // ...then overwrite pattern groups from the shared pool with small
+      // jitter. The jitter must stay well below the PQ cell size so the
+      // group still encodes to the same code triplet.
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        if (rng.uniform() >= spec.pattern_prob) continue;
+        const std::size_t p = pattern_picker.sample(rng);
+        const float* pat = pools.data() +
+                           ((c * n_groups + g) * spec.pattern_pool + p) * group_dims;
+        for (std::size_t d = 0; d < group_dims; ++d) {
+          out[g * group_dims + d] =
+              ctr[g * group_dims + d] + pat[d] +
+              static_cast<float>(rng.gaussian(0.0, scales.residual_sigma * 0.02));
+        }
+      }
+      family_postprocess(spec.family, out, dim);
+    }
+  }
+  assert(row == spec.n);
+
+  // Shuffle rows.
+  auto perm = common::random_permutation(spec.n, rng);
+  std::vector<float> shuffled(spec.n * dim);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    std::copy_n(ds.row(perm[i]), dim, shuffled.begin() + i * dim);
+  }
+  ds.values = std::move(shuffled);
+  return ds;
+}
+
+namespace {
+SyntheticSpec family_spec(DatasetFamily f, std::size_t n, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.family = f;
+  s.n = n;
+  s.seed = seed;
+  s.size_sigma = family_size_sigma(f);
+  s.dense_core_frac = family_dense_core_frac(f);
+  return s;
+}
+}  // namespace
+
+SyntheticSpec sift1b_like(std::size_t n, std::uint64_t seed) {
+  return family_spec(DatasetFamily::kSiftLike, n, seed);
+}
+
+SyntheticSpec deep1b_like(std::size_t n, std::uint64_t seed) {
+  return family_spec(DatasetFamily::kDeepLike, n, seed);
+}
+
+SyntheticSpec spacev1b_like(std::size_t n, std::uint64_t seed) {
+  return family_spec(DatasetFamily::kSpacevLike, n, seed);
+}
+
+}  // namespace upanns::data

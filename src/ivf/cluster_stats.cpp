@@ -1,0 +1,70 @@
+#include "ivf/cluster_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace upanns::ivf {
+
+double ClusterStats::total_workload() const {
+  double t = 0;
+  for (double w : workloads) t += w;
+  return t;
+}
+
+double ClusterStats::average_workload(std::size_t ndpu) const {
+  if (ndpu == 0) return 0;
+  return total_workload() / static_cast<double>(ndpu);
+}
+
+ClusterStats collect_stats(
+    const IvfIndex& index,
+    const std::vector<std::vector<std::uint32_t>>& history) {
+  ClusterStats stats;
+  stats.sizes = index.list_sizes();
+  stats.frequencies =
+      data::estimate_frequencies(history, index.n_clusters());
+  stats.workloads.resize(index.n_clusters());
+  for (std::size_t c = 0; c < index.n_clusters(); ++c) {
+    stats.workloads[c] =
+        static_cast<double>(stats.sizes[c]) * stats.frequencies[c];
+  }
+  return stats;
+}
+
+std::vector<std::vector<std::uint32_t>> filter_batch(const IvfIndex& index,
+                                                     const data::Dataset& queries,
+                                                     std::size_t nprobe) {
+  std::vector<std::vector<std::uint32_t>> probes(queries.n);
+  common::ThreadPool::global().parallel_for(
+      0, queries.n,
+      [&](std::size_t q) {
+        probes[q] = index.filter_clusters(queries.row(q), nprobe);
+      },
+      8);
+  return probes;
+}
+
+SkewReport analyze_skew(const ClusterStats& stats) {
+  SkewReport r;
+  double fmin = std::numeric_limits<double>::infinity(), fmax = 0;
+  double smin = std::numeric_limits<double>::infinity(), smax = 0;
+  for (std::size_t c = 0; c < stats.n_clusters(); ++c) {
+    if (stats.frequencies[c] > 0) {
+      fmin = std::min(fmin, stats.frequencies[c]);
+      fmax = std::max(fmax, stats.frequencies[c]);
+    }
+    if (stats.sizes[c] > 0) {
+      smin = std::min(smin, static_cast<double>(stats.sizes[c]));
+      smax = std::max(smax, static_cast<double>(stats.sizes[c]));
+    }
+  }
+  r.freq_max_over_min_nonzero = fmin > 0 && fmax > 0 ? fmax / fmin : 0;
+  r.size_max_over_min_nonzero = smin > 0 && smax > 0 ? smax / smin : 0;
+  r.workload_max_over_mean = common::max_over_mean(stats.workloads);
+  return r;
+}
+
+}  // namespace upanns::ivf

@@ -1,0 +1,45 @@
+// Cluster-level workload statistics: sizes s_i, access frequencies f_i and
+// the per-cluster workload estimate W_i = s_i * f_i that drives Algorithm 1.
+// Also provides the skew diagnostics plotted in paper Fig 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/query_workload.hpp"
+#include "ivf/ivf_index.hpp"
+
+namespace upanns::ivf {
+
+struct ClusterStats {
+  std::vector<std::size_t> sizes;     ///< s_i, vectors per cluster
+  std::vector<double> frequencies;    ///< f_i, normalized access frequencies
+  std::vector<double> workloads;      ///< W_i = s_i * f_i
+
+  std::size_t n_clusters() const { return sizes.size(); }
+  double total_workload() const;
+  /// W-bar for ndpu DPUs: (1/n) * sum(W_i).
+  double average_workload(std::size_t ndpu) const;
+};
+
+/// Collect stats by replaying a query history (each entry = filtered cluster
+/// ids of one past query) against the index.
+ClusterStats collect_stats(const IvfIndex& index,
+                           const std::vector<std::vector<std::uint32_t>>& history);
+
+/// Run cluster filtering for a query batch; returns per-query probe lists.
+/// This is both the online stage (a) and the history generator for stats.
+std::vector<std::vector<std::uint32_t>> filter_batch(const IvfIndex& index,
+                                                     const data::Dataset& queries,
+                                                     std::size_t nprobe);
+
+/// Skew diagnostics for Fig 4: frequency, size and workload spreads.
+struct SkewReport {
+  double freq_max_over_min_nonzero = 0;   ///< ~500x in SPACEV1B (Fig 4a)
+  double size_max_over_min_nonzero = 0;   ///< ~1e6x at billion scale (Fig 4b)
+  double workload_max_over_mean = 0;      ///< hot-DPU potential (Fig 4c)
+};
+
+SkewReport analyze_skew(const ClusterStats& stats);
+
+}  // namespace upanns::ivf

@@ -1,0 +1,84 @@
+#include "ivf/ivf_flat.hpp"
+
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "quant/kmeans.hpp"
+
+namespace upanns::ivf {
+
+IvfFlatIndex IvfFlatIndex::build(const data::Dataset& base,
+                                 const IvfFlatBuildOptions& opts) {
+  if (base.empty()) throw std::invalid_argument("IvfFlatIndex: empty dataset");
+  IvfFlatIndex idx;
+  idx.dim_ = base.dim;
+  idx.n_points_ = base.n;
+
+  quant::KMeansOptions ko;
+  ko.n_clusters = opts.n_clusters;
+  ko.max_iters = opts.coarse_iters;
+  ko.seed = opts.seed;
+  ko.max_training_points = opts.coarse_train_points;
+  quant::KMeansResult coarse = quant::kmeans(base.span(), base.n, base.dim, ko);
+  idx.n_clusters_ = coarse.n_clusters;
+  idx.centroids_ = std::move(coarse.centroids);
+
+  idx.ids_.resize(idx.n_clusters_);
+  idx.vectors_.resize(idx.n_clusters_);
+  for (std::size_t c = 0; c < idx.n_clusters_; ++c) {
+    idx.ids_[c].reserve(coarse.sizes[c]);
+    idx.vectors_[c].reserve(coarse.sizes[c] * base.dim);
+  }
+  for (std::size_t i = 0; i < base.n; ++i) {
+    const std::uint32_t c = coarse.labels[i];
+    idx.ids_[c].push_back(static_cast<std::uint32_t>(i));
+    const float* row = base.row(i);
+    idx.vectors_[c].insert(idx.vectors_[c].end(), row, row + base.dim);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> IvfFlatIndex::list_sizes() const {
+  std::vector<std::size_t> sizes(n_clusters_);
+  for (std::size_t c = 0; c < n_clusters_; ++c) sizes[c] = ids_[c].size();
+  return sizes;
+}
+
+std::vector<std::uint32_t> IvfFlatIndex::filter_clusters(
+    const float* query, std::size_t nprobe) const {
+  nprobe = std::min(nprobe, n_clusters_);
+  common::BoundedMaxHeap heap(nprobe);
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    heap.push(quant::l2_sq(query, centroid(c), dim_),
+              static_cast<std::uint32_t>(c));
+  }
+  auto sorted = heap.take_sorted();
+  std::vector<std::uint32_t> out(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) out[i] = sorted[i].id;
+  return out;
+}
+
+std::vector<common::Neighbor> IvfFlatIndex::search(const float* query,
+                                                   std::size_t nprobe,
+                                                   std::size_t k) const {
+  common::BoundedMaxHeap heap(k);
+  for (std::uint32_t c : filter_clusters(query, nprobe)) {
+    const auto& vecs = vectors_[c];
+    const auto& ids = ids_[c];
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      heap.push(quant::l2_sq(query, vecs.data() + i * dim_, dim_), ids[i]);
+    }
+  }
+  return heap.take_sorted();
+}
+
+std::vector<std::vector<common::Neighbor>> IvfFlatIndex::search_batch(
+    const data::Dataset& queries, std::size_t nprobe, std::size_t k) const {
+  std::vector<std::vector<common::Neighbor>> out(queries.n);
+  common::ThreadPool::global().parallel_for(
+      0, queries.n,
+      [&](std::size_t q) { out[q] = search(queries.row(q), nprobe, k); }, 1);
+  return out;
+}
+
+}  // namespace upanns::ivf

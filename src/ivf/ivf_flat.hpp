@@ -1,0 +1,68 @@
+// IVFFlat — the paper's future-work direction ("generalize UpANNS to
+// broader ANNS algorithms") instantiated for the simplest member of the IVF
+// family: same coarse quantizer and inverted lists, but lists store raw
+// float vectors and the scan computes exact L2 distances (no PQ, no LUT).
+// It shares the cluster-statistics/placement machinery — per-cluster
+// workload is still s_i * f_i — so Opt1/Opt2/Opt4 apply unchanged; only
+// Opt3 (CAE) is PQ-specific. The class ships with a host searcher used as
+// a recall upper bound and as the substrate for future PIM-flat kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace upanns::ivf {
+
+struct IvfFlatBuildOptions {
+  std::size_t n_clusters = 256;
+  std::size_t coarse_iters = 10;
+  std::uint64_t seed = 2024;
+  std::size_t coarse_train_points = 65536;
+};
+
+class IvfFlatIndex {
+ public:
+  static IvfFlatIndex build(const data::Dataset& base,
+                            const IvfFlatBuildOptions& opts);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t n_clusters() const { return n_clusters_; }
+  std::size_t n_points() const { return n_points_; }
+
+  const float* centroid(std::size_t c) const {
+    return centroids_.data() + c * dim_;
+  }
+  std::size_t list_size(std::size_t c) const { return ids_[c].size(); }
+  const std::vector<std::uint32_t>& list_ids(std::size_t c) const {
+    return ids_[c];
+  }
+  /// Raw vectors of list c, row-major (list_size x dim).
+  const std::vector<float>& list_vectors(std::size_t c) const {
+    return vectors_[c];
+  }
+  std::vector<std::size_t> list_sizes() const;
+
+  std::vector<std::uint32_t> filter_clusters(const float* query,
+                                             std::size_t nprobe) const;
+
+  /// Exact search within the nprobe closest clusters.
+  std::vector<common::Neighbor> search(const float* query, std::size_t nprobe,
+                                       std::size_t k) const;
+
+  /// Batched variant (parallel over queries).
+  std::vector<std::vector<common::Neighbor>> search_batch(
+      const data::Dataset& queries, std::size_t nprobe, std::size_t k) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t n_clusters_ = 0;
+  std::size_t n_points_ = 0;
+  std::vector<float> centroids_;
+  std::vector<std::vector<std::uint32_t>> ids_;
+  std::vector<std::vector<float>> vectors_;
+};
+
+}  // namespace upanns::ivf

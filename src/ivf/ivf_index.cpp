@@ -1,0 +1,94 @@
+#include "ivf/ivf_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "common/topk.hpp"
+#include "quant/kmeans.hpp"
+
+namespace upanns::ivf {
+
+IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts) {
+  if (base.empty()) throw std::invalid_argument("IvfIndex: empty dataset");
+  if (opts.pq_m == 0 || base.dim % opts.pq_m != 0) {
+    throw std::invalid_argument("IvfIndex: dim must be divisible by pq_m");
+  }
+  IvfIndex idx;
+  idx.dim_ = base.dim;
+  idx.n_points_ = base.n;
+
+  // 1. Coarse quantizer.
+  quant::KMeansOptions ko;
+  ko.n_clusters = opts.n_clusters;
+  ko.max_iters = opts.coarse_iters;
+  ko.seed = opts.seed;
+  ko.max_training_points = opts.coarse_train_points;
+  quant::KMeansResult coarse = quant::kmeans(base.span(), base.n, base.dim, ko);
+  idx.n_clusters_ = coarse.n_clusters;
+  idx.centroids_ = std::move(coarse.centroids);
+
+  // 2. Residuals for PQ training (subsampled implicitly by PQ options).
+  std::vector<float> residuals(base.n * base.dim);
+  common::ThreadPool::global().parallel_for(
+      0, base.n,
+      [&](std::size_t i) {
+        const float* p = base.row(i);
+        const float* c = idx.centroid(coarse.labels[i]);
+        float* r = residuals.data() + i * base.dim;
+        for (std::size_t d = 0; d < base.dim; ++d) r[d] = p[d] - c[d];
+      },
+      512);
+
+  quant::PqOptions po;
+  po.m = opts.pq_m;
+  po.train_iters = opts.pq_iters;
+  po.seed = opts.seed + 1;
+  po.max_training_points = opts.pq_train_points;
+  idx.pq_.train(residuals, base.n, base.dim, po);
+
+  // 3. Encode everything and fill inverted lists.
+  std::vector<std::uint8_t> codes(base.n * opts.pq_m);
+  idx.pq_.encode_batch(residuals, base.n, codes.data());
+
+  idx.lists_.resize(idx.n_clusters_);
+  for (std::size_t c = 0; c < idx.n_clusters_; ++c) {
+    idx.lists_[c].ids.reserve(coarse.sizes[c]);
+    idx.lists_[c].codes.reserve(coarse.sizes[c] * opts.pq_m);
+  }
+  for (std::size_t i = 0; i < base.n; ++i) {
+    InvertedList& list = idx.lists_[coarse.labels[i]];
+    list.ids.push_back(static_cast<std::uint32_t>(i));
+    const std::uint8_t* code = codes.data() + i * opts.pq_m;
+    list.codes.insert(list.codes.end(), code, code + opts.pq_m);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> IvfIndex::list_sizes() const {
+  std::vector<std::size_t> sizes(lists_.size());
+  for (std::size_t c = 0; c < lists_.size(); ++c) sizes[c] = lists_[c].size();
+  return sizes;
+}
+
+std::vector<std::uint32_t> IvfIndex::filter_clusters(const float* query,
+                                                     std::size_t nprobe) const {
+  nprobe = std::min(nprobe, n_clusters_);
+  common::BoundedMaxHeap heap(nprobe);
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    const float d = quant::l2_sq(query, centroid(c), dim_);
+    heap.push(d, static_cast<std::uint32_t>(c));
+  }
+  auto sorted = heap.take_sorted();
+  std::vector<std::uint32_t> ids(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) ids[i] = sorted[i].id;
+  return ids;
+}
+
+void IvfIndex::residual(const float* vec, std::size_t c, float* out) const {
+  const float* ctr = centroid(c);
+  for (std::size_t d = 0; d < dim_; ++d) out[d] = vec[d] - ctr[d];
+}
+
+}  // namespace upanns::ivf

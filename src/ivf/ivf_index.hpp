@@ -1,0 +1,86 @@
+// The IVFPQ index (offline phase of Fig 2): a coarse k-means quantizer
+// partitions the base set into |C| clusters; every point is PQ-encoded as the
+// residual against its cluster centroid. The inverted lists produced here are
+// the unit of placement for the PIM engine and the unit of scanning for every
+// architecture baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "quant/pq.hpp"
+
+namespace upanns::ivf {
+
+struct IvfBuildOptions {
+  std::size_t n_clusters = 256;      ///< |C| (paper sweeps 4096/8192/16384)
+  std::size_t pq_m = 16;             ///< PQ code bytes per vector
+  std::size_t coarse_iters = 12;
+  std::size_t pq_iters = 10;
+  std::uint64_t seed = 2024;
+  /// Training subsample caps (0 = use all points).
+  std::size_t coarse_train_points = 65536;
+  std::size_t pq_train_points = 65536;
+};
+
+/// One inverted list: original vector ids plus their PQ codes (size x m).
+struct InvertedList {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint8_t> codes;
+
+  std::size_t size() const { return ids.size(); }
+  const std::uint8_t* code(std::size_t i, std::size_t m) const {
+    return codes.data() + i * m;
+  }
+};
+
+class IvfIndex {
+ public:
+  /// Build from a dataset. Throws on invalid options.
+  static IvfIndex build(const data::Dataset& base, const IvfBuildOptions& opts);
+
+  std::size_t n_clusters() const { return n_clusters_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t n_points() const { return n_points_; }
+  std::size_t pq_m() const { return pq_.m(); }
+
+  const quant::ProductQuantizer& pq() const { return pq_; }
+  std::span<const float> centroids() const { return centroids_; }
+  const float* centroid(std::size_t c) const { return centroids_.data() + c * dim_; }
+  const InvertedList& list(std::size_t c) const { return lists_[c]; }
+  const std::vector<InvertedList>& lists() const { return lists_; }
+
+  std::vector<std::size_t> list_sizes() const;
+
+  /// Stage (a) of the online pipeline: rank clusters by centroid distance and
+  /// return the nprobe closest ids (ascending by distance).
+  std::vector<std::uint32_t> filter_clusters(const float* query,
+                                             std::size_t nprobe) const;
+
+  /// Residual of `vec` against centroid c into `out` (dim floats).
+  void residual(const float* vec, std::size_t c, float* out) const;
+
+  /// Bytes a cluster's codes occupy (the MRAM footprint of its list).
+  std::size_t list_code_bytes(std::size_t c) const {
+    return lists_[c].codes.size();
+  }
+
+  /// Persist / restore the full index (centroids, PQ codebooks, inverted
+  /// lists). Building a billion-scale index is expensive; production
+  /// deployments train once and reload. Throws std::runtime_error on IO or
+  /// format errors.
+  void save(const std::string& path) const;
+  static IvfIndex load(const std::string& path);
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t n_clusters_ = 0;
+  std::size_t n_points_ = 0;
+  std::vector<float> centroids_;  // n_clusters x dim
+  quant::ProductQuantizer pq_;
+  std::vector<InvertedList> lists_;
+};
+
+}  // namespace upanns::ivf

@@ -1,0 +1,16 @@
+#include "metrics/regression.hpp"
+
+namespace upanns::metrics {
+
+ScalingModel fit_scaling(const std::vector<std::size_t>& dpus,
+                         const std::vector<double>& qps) {
+  std::vector<double> xs(dpus.size());
+  for (std::size_t i = 0; i < dpus.size(); ++i) {
+    xs[i] = static_cast<double>(dpus[i]);
+  }
+  ScalingModel m;
+  m.fit = common::fit_linear(xs, qps);
+  return m;
+}
+
+}  // namespace upanns::metrics

@@ -1,0 +1,25 @@
+// The Fig 20 extrapolation: fit measured (n_dpus, QPS) points with least
+// squares and predict QPS at larger DPU counts (the paper fits 500-900 DPU
+// measurements and predicts up to 2560).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace upanns::metrics {
+
+struct ScalingModel {
+  common::LinearFit fit;
+
+  double predict_qps(std::size_t n_dpus) const {
+    return fit.predict(static_cast<double>(n_dpus));
+  }
+  double r2() const { return fit.r2; }
+};
+
+ScalingModel fit_scaling(const std::vector<std::size_t>& dpus,
+                         const std::vector<double>& qps);
+
+}  // namespace upanns::metrics

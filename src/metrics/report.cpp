@@ -1,0 +1,59 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace upanns::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+StageShares shares(const baselines::StageTimes& t) {
+  StageShares s;
+  const double total = t.total();
+  if (total <= 0) return s;
+  s.cluster_filter = t.cluster_filter / total * 100.0;
+  s.lut_build = t.lut_build / total * 100.0;
+  s.distance_calc = t.distance_calc / total * 100.0;
+  s.topk = t.topk / total * 100.0;
+  s.transfer = t.transfer / total * 100.0;
+  return s;
+}
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("\n=== %s: %s ===\n", figure.c_str(), description.c_str());
+}
+
+}  // namespace upanns::metrics

@@ -1,0 +1,39 @@
+// Table/row printers shared by the bench harness: every bench binary prints
+// figure-shaped rows (dataset, setting, value, normalized value) on stdout so
+// `bench_output.txt` reads like the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/stage_times.hpp"
+
+namespace upanns::metrics {
+
+/// Fixed-width table writer with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Percentage shares of the four pipeline stages, as in Figs 1 and 19.
+struct StageShares {
+  double cluster_filter = 0, lut_build = 0, distance_calc = 0, topk = 0,
+         transfer = 0;
+};
+StageShares shares(const baselines::StageTimes& t);
+
+/// Print a standard figure banner so bench output is self-describing.
+void banner(const std::string& figure, const std::string& description);
+
+}  // namespace upanns::metrics

@@ -1,0 +1,132 @@
+#include "pim/dpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+
+namespace upanns::pim {
+
+void TaskletCtx::mram_read(std::size_t mram_off, void* dst, std::size_t bytes) {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, hw::kMramMaxTransfer);
+    work_.dma_cycles += static_cast<std::uint64_t>(
+        DpuCostModel::mram_dma_cycles(chunk));
+    dpu_.host_read(mram_off + done, out + done, chunk);
+    done += chunk;
+  }
+}
+
+void TaskletCtx::mram_write(std::size_t mram_off, const void* src,
+                            std::size_t bytes) {
+  auto* in = static_cast<const std::uint8_t*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, hw::kMramMaxTransfer);
+    work_.dma_cycles += static_cast<std::uint64_t>(
+        DpuCostModel::mram_dma_cycles(chunk));
+    dpu_.host_write(mram_off + done, in + done, chunk);
+    done += chunk;
+  }
+}
+
+std::size_t Dpu::mram_alloc(std::size_t bytes, const char* tag) {
+  const std::size_t aligned = (bytes + 7) / 8 * 8;
+  if (mram_.size() + aligned > hw::kMramBytes) {
+    throw std::runtime_error("MRAM overflow on DPU " + std::to_string(id_) +
+                             " allocating " + std::to_string(bytes) +
+                             " bytes for '" + tag + "'");
+  }
+  const std::size_t off = mram_.size();
+  mram_.resize(mram_.size() + aligned);
+  return off;
+}
+
+void Dpu::mram_rewind(std::size_t mark) {
+  if (mark > mram_.size()) {
+    throw std::logic_error("Dpu::mram_rewind past current size");
+  }
+  mram_.resize(mark);
+}
+
+void Dpu::host_write(std::size_t off, const void* src, std::size_t bytes) {
+  assert(off + bytes <= mram_.size());
+  std::memcpy(mram_.data() + off, src, bytes);
+}
+
+void Dpu::host_read(std::size_t off, void* dst, std::size_t bytes) const {
+  assert(off + bytes <= mram_.size());
+  std::memcpy(dst, mram_.data() + off, bytes);
+}
+
+DpuRunStats Dpu::run(DpuKernel& kernel, unsigned n_tasklets) {
+  n_tasklets = std::clamp(n_tasklets, 1u, hw::kMaxTasklets);
+  kernel.setup(*this, n_tasklets);
+
+  DpuRunStats stats;
+  std::vector<TaskletCtx> ctxs;
+  ctxs.reserve(n_tasklets);
+  for (unsigned t = 0; t < n_tasklets; ++t) {
+    ctxs.emplace_back(*this, t, n_tasklets);
+  }
+
+  const unsigned phases = kernel.n_phases();
+  stats.phase_cycles.reserve(phases);
+  std::vector<TaskletWork> works(n_tasklets);
+  for (unsigned p = 0; p < phases; ++p) {
+    for (unsigned t = 0; t < n_tasklets; ++t) {
+      ctxs[t].reset_work();
+      kernel.run_phase(p, ctxs[t]);
+      works[t] = ctxs[t].work();
+      stats.instructions += works[t].instructions +
+                            works[t].critical_instructions;
+      stats.dma_cycles += works[t].dma_cycles;
+    }
+    const std::uint64_t pc =
+        DpuCostModel::phase_cycles(works) + DpuCostModel::barrier_cycles();
+    stats.phase_cycles.push_back(pc);
+    stats.cycles += pc;
+  }
+  busy_cycles_ += stats.cycles;
+  return stats;
+}
+
+PimSystem::PimSystem(std::size_t n_dpus) {
+  dpus_.reserve(n_dpus);
+  for (std::size_t i = 0; i < n_dpus; ++i) {
+    dpus_.emplace_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+PimSystem::LaunchStats PimSystem::launch(
+    const std::function<DpuKernel*(std::size_t)>& kernel_for,
+    unsigned n_tasklets) {
+  LaunchStats out;
+  out.dpu_seconds.assign(dpus_.size(), 0.0);
+  out.dpu_stats.assign(dpus_.size(), DpuRunStats{});
+
+  common::ThreadPool::global().parallel_for(
+      0, dpus_.size(),
+      [&](std::size_t i) {
+        DpuKernel* kernel = kernel_for(i);
+        if (!kernel) return;
+        out.dpu_stats[i] = dpus_[i].run(*kernel, n_tasklets);
+        out.dpu_seconds[i] = out.dpu_stats[i].seconds();
+      },
+      1);
+
+  for (std::size_t i = 0; i < out.dpu_stats.size(); ++i) {
+    if (out.dpu_stats[i].cycles > out.max_cycles) {
+      out.max_cycles = out.dpu_stats[i].cycles;
+      out.slowest_dpu = i;
+    }
+  }
+  out.seconds =
+      DpuCostModel::cycles_to_seconds(out.max_cycles) + hw::kHostLaunchLatency;
+  return out;
+}
+
+}  // namespace upanns::pim

@@ -1,0 +1,30 @@
+// Peak-power based energy accounting, matching the paper's methodology
+// (Sec 5.2: peak power is used as the approximation when comparing QPS/W).
+#pragma once
+
+#include <cstddef>
+
+#include "common/hw_specs.hpp"
+
+namespace upanns::pim {
+
+enum class Platform { kCpu, kGpu, kPim };
+
+/// Peak power of a platform configuration in watts. For PIM, pass the DPU
+/// count; whole DIMMs are powered (128 DPUs each).
+double platform_power_w(Platform p, std::size_t n_dpus = hw::kDefaultDpus);
+
+/// Approximate hardware price in USD (paper Table 1) for QPS/$ comparisons.
+double platform_price_usd(Platform p, std::size_t n_dpus = hw::kDefaultDpus);
+
+/// QPS per watt.
+double qps_per_watt(double qps, Platform p, std::size_t n_dpus = hw::kDefaultDpus);
+
+/// Energy in joules for a run of `seconds` at peak power.
+double energy_joules(Platform p, double seconds, std::size_t n_dpus = hw::kDefaultDpus);
+
+/// DPU count whose DIMM power equals the GPU's 300 W budget — the blue
+/// vertical line in paper Fig 20.
+std::size_t dpus_at_gpu_power_parity();
+
+}  // namespace upanns::pim

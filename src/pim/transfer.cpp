@@ -1,0 +1,43 @@
+#include "pim/transfer.hpp"
+
+#include <algorithm>
+
+namespace upanns::pim {
+
+TransferStats TransferEngine::batch(const std::vector<std::size_t>& per_dpu_bytes) {
+  TransferStats out;
+  std::size_t max_sz = 0;
+  std::size_t nonzero = 0;
+  bool uniform = true;
+  std::size_t first = 0;
+  for (std::size_t b : per_dpu_bytes) {
+    out.bytes += b;
+    if (b == 0) continue;
+    if (nonzero == 0) first = b;
+    uniform = uniform && (b == first);
+    ++nonzero;
+    max_sz = std::max(max_sz, b);
+  }
+  if (nonzero == 0) return out;
+  out.parallel = uniform;
+  if (uniform) {
+    // All DPUs receive concurrently; the wire time is the aggregate bytes at
+    // the parallel bandwidth (the rank-level burst is what saturates).
+    out.seconds = static_cast<double>(out.bytes) / hw::kHostXferParallelBw;
+  } else {
+    out.seconds = static_cast<double>(out.bytes) / hw::kHostXferSerialBw;
+  }
+  return out;
+}
+
+TransferStats TransferEngine::uniform(std::size_t n_dpus, std::size_t bytes) {
+  TransferStats out;
+  out.bytes = n_dpus * bytes;
+  out.parallel = true;
+  if (out.bytes > 0) {
+    out.seconds = static_cast<double>(out.bytes) / hw::kHostXferParallelBw;
+  }
+  return out;
+}
+
+}  // namespace upanns::pim

@@ -1,0 +1,33 @@
+// Host <-> DPU transfer timing. UPMEM's host library transfers buffers to
+// every DPU *concurrently* only when all buffers have identical sizes;
+// otherwise it degrades to sequential per-DPU copies (paper Sec 2.2). UpANNS
+// therefore pads per-DPU query/schedule buffers to a uniform size — this
+// engine charges the correct cost either way so that design decision is
+// visible in the numbers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/hw_specs.hpp"
+
+namespace upanns::pim {
+
+struct TransferStats {
+  double seconds = 0;
+  std::size_t bytes = 0;
+  bool parallel = false;
+};
+
+class TransferEngine {
+ public:
+  /// Time to push (or gather) the given per-DPU buffer sizes in one batch.
+  /// Zero-sized entries are allowed (DPU skipped); uniformity is judged over
+  /// the non-zero entries.
+  static TransferStats batch(const std::vector<std::size_t>& per_dpu_bytes);
+
+  /// Uniform-size fast path: n_dpus buffers of `bytes` each.
+  static TransferStats uniform(std::size_t n_dpus, std::size_t bytes);
+};
+
+}  // namespace upanns::pim

@@ -1,0 +1,28 @@
+#include "pim/wram.hpp"
+
+#include <algorithm>
+
+namespace upanns::pim {
+
+std::size_t WramAllocator::alloc(std::size_t bytes, const char* tag) {
+  const std::size_t aligned = (bytes + 7) / 8 * 8;
+  if (top_ + aligned > capacity_) {
+    throw WramOverflow("WRAM overflow allocating " + std::to_string(bytes) +
+                       " bytes for '" + tag + "' (used " +
+                       std::to_string(top_) + "/" + std::to_string(capacity_) +
+                       ")");
+  }
+  const std::size_t off = top_;
+  top_ += aligned;
+  high_water_ = std::max(high_water_, top_);
+  return off;
+}
+
+void WramAllocator::rewind(std::size_t mark) {
+  if (mark > top_) {
+    throw std::logic_error("WramAllocator::rewind past current top");
+  }
+  top_ = mark;
+}
+
+}  // namespace upanns::pim

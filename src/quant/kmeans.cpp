@@ -1,0 +1,189 @@
+#include "quant/kmeans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/thread_pool.hpp"
+
+namespace upanns::quant {
+
+float l2_sq(const float* a, const float* b, std::size_t dim) {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::pair<std::uint32_t, float> nearest_centroid(const float* point,
+                                                 const float* centroids,
+                                                 std::size_t n,
+                                                 std::size_t dim) {
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < n; ++c) {
+    const float d = l2_sq(point, centroids + c * dim, dim);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return {best, best_d};
+}
+
+namespace {
+
+// k-means++ seeding: spread initial centroids proportional to squared
+// distance from already-chosen seeds.
+std::vector<float> seed_plus_plus(std::span<const float> data, std::size_t n,
+                                  std::size_t dim, std::size_t k,
+                                  common::Rng& rng) {
+  std::vector<float> centroids(k * dim);
+  std::vector<float> min_d(n, std::numeric_limits<float>::infinity());
+
+  std::size_t first = rng.below(n);
+  std::copy_n(data.data() + first * dim, dim, centroids.begin());
+
+  for (std::size_t c = 1; c < k; ++c) {
+    const float* last = centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = l2_sq(data.data() + i * dim, last, dim);
+      min_d[i] = std::min(min_d[i], d);
+      total += min_d[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0) {
+      double target = rng.uniform() * total;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += min_d[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.below(n);
+    }
+    std::copy_n(data.data() + chosen * dim, dim, centroids.begin() + c * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> assign_labels(std::span<const float> data,
+                                         std::size_t n, std::size_t dim,
+                                         std::span<const float> centroids,
+                                         std::size_t n_clusters,
+                                         bool use_threads) {
+  std::vector<std::uint32_t> labels(n);
+  auto body = [&](std::size_t i) {
+    labels[i] = nearest_centroid(data.data() + i * dim, centroids.data(),
+                                 n_clusters, dim)
+                    .first;
+  };
+  if (use_threads) {
+    common::ThreadPool::global().parallel_for(0, n, body, 256);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+  return labels;
+}
+
+KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
+                    const KMeansOptions& opts) {
+  assert(n > 0 && dim > 0 && opts.n_clusters > 0);
+  assert(data.size() >= n * dim);
+  const std::size_t k = std::min(opts.n_clusters, n);
+  common::Rng rng(opts.seed);
+
+  // Optional subsampling keeps training tractable for large synthetic sets.
+  std::vector<float> sample_storage;
+  std::span<const float> train = data;
+  std::size_t n_train = n;
+  if (opts.max_training_points > 0 && n > opts.max_training_points) {
+    n_train = opts.max_training_points;
+    sample_storage.resize(n_train * dim);
+    auto perm = common::random_permutation(n, rng);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      std::copy_n(data.data() + static_cast<std::size_t>(perm[i]) * dim, dim,
+                  sample_storage.begin() + i * dim);
+    }
+    train = sample_storage;
+  }
+
+  KMeansResult result;
+  result.dim = dim;
+  result.n_clusters = k;
+  result.centroids = seed_plus_plus(train, n_train, dim, k, rng);
+
+  std::vector<std::uint32_t> labels(n_train, 0);
+  std::vector<double> acc(k * dim);
+  std::vector<std::uint32_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step (parallel over points).
+    std::vector<float> dists(n_train);
+    auto assign_body = [&](std::size_t i) {
+      auto [c, d] = nearest_centroid(train.data() + i * dim,
+                                     result.centroids.data(), k, dim);
+      labels[i] = c;
+      dists[i] = d;
+    };
+    if (opts.use_threads) {
+      common::ThreadPool::global().parallel_for(0, n_train, assign_body, 256);
+    } else {
+      for (std::size_t i = 0; i < n_train; ++i) assign_body(i);
+    }
+    double inertia = 0.0;
+    for (float d : dists) inertia += d;
+
+    // Update step.
+    std::fill(acc.begin(), acc.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      const std::uint32_t c = labels[i];
+      ++counts[c];
+      const float* p = train.data() + i * dim;
+      double* a = acc.data() + static_cast<std::size_t>(c) * dim;
+      for (std::size_t d = 0; d < dim; ++d) a[d] += p[d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster from a random point to keep k populated.
+        const std::size_t pick = rng.below(n_train);
+        std::copy_n(train.data() + pick * dim, dim,
+                    result.centroids.begin() + c * dim);
+        continue;
+      }
+      float* ctr = result.centroids.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        ctr[d] = static_cast<float>(acc[c * dim + d] / counts[c]);
+      }
+    }
+
+    result.inertia = inertia;
+    if (prev_inertia < std::numeric_limits<double>::infinity()) {
+      const double rel =
+          std::abs(prev_inertia - inertia) / std::max(prev_inertia, 1e-12);
+      if (rel < opts.tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+
+  // Final labels/sizes for the *full* dataset (not the training subsample).
+  result.labels =
+      assign_labels(data, n, dim, result.centroids, k, opts.use_threads);
+  result.sizes.assign(k, 0);
+  for (auto l : result.labels) ++result.sizes[l];
+  return result;
+}
+
+}  // namespace upanns::quant

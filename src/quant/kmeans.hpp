@@ -1,0 +1,54 @@
+// Lloyd's k-means with k-means++ seeding. This is the training substrate for
+// both levels of IVFPQ: the coarse (IVF) quantizer and each PQ sub-quantizer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace upanns::quant {
+
+struct KMeansOptions {
+  std::size_t n_clusters = 16;
+  std::size_t max_iters = 15;
+  double tolerance = 1e-4;       ///< stop when relative inertia change < tol
+  std::uint64_t seed = 42;
+  bool use_threads = true;       ///< parallel assignment via the global pool
+  /// Subsample the training set to at most this many points (0 = no limit).
+  std::size_t max_training_points = 0;
+};
+
+struct KMeansResult {
+  std::vector<float> centroids;       ///< n_clusters x dim, row-major
+  std::vector<std::uint32_t> labels;  ///< per training point
+  std::vector<std::uint32_t> sizes;   ///< points per cluster
+  double inertia = 0.0;               ///< sum of squared distances
+  std::size_t iterations = 0;
+  std::size_t dim = 0;
+  std::size_t n_clusters = 0;
+};
+
+/// Squared L2 distance between two dim-length vectors.
+float l2_sq(const float* a, const float* b, std::size_t dim);
+
+/// Find the nearest centroid (row-major centroids, n x dim).
+/// Returns (index, squared distance).
+std::pair<std::uint32_t, float> nearest_centroid(const float* point,
+                                                 const float* centroids,
+                                                 std::size_t n,
+                                                 std::size_t dim);
+
+/// Train k-means on `n` points of dimension `dim` (row-major `data`).
+KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
+                    const KMeansOptions& opts);
+
+/// Assign every point to its nearest centroid (parallel).
+std::vector<std::uint32_t> assign_labels(std::span<const float> data,
+                                         std::size_t n, std::size_t dim,
+                                         std::span<const float> centroids,
+                                         std::size_t n_clusters,
+                                         bool use_threads = true);
+
+}  // namespace upanns::quant

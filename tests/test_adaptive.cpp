@@ -1,0 +1,128 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upanns::core {
+namespace {
+
+// Synthetic probe batches: every query hits cluster `hot` plus a rotating
+// filler cluster.
+std::vector<std::vector<std::uint32_t>> batch_hitting(std::uint32_t hot,
+                                                      std::size_t n_clusters,
+                                                      std::size_t n_queries) {
+  std::vector<std::vector<std::uint32_t>> probes;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    probes.push_back(
+        {hot, static_cast<std::uint32_t>(q % n_clusters)});
+  }
+  return probes;
+}
+
+TEST(Adaptive, RejectsZeroClusters) {
+  EXPECT_THROW(AdaptiveController(0), std::invalid_argument);
+}
+
+TEST(Adaptive, NoDriftNoAction) {
+  AdaptiveController ctl(8);
+  std::vector<double> base(8, 0.125);
+  ctl.set_baseline(base);
+  // Traffic matching the uniform baseline.
+  std::vector<std::vector<std::uint32_t>> probes;
+  for (std::uint32_t c = 0; c < 8; ++c) probes.push_back({c});
+  for (int i = 0; i < 10; ++i) ctl.observe_batch(probes);
+  EXPECT_LT(ctl.drift(), 0.01);
+
+  const std::vector<std::size_t> sizes(8, 100);
+  const std::vector<std::size_t> copies(8, 1);
+  const auto rec = ctl.recommend(sizes, copies, 100.0);
+  EXPECT_EQ(rec.action, AdaptAction::kNone);
+  EXPECT_TRUE(rec.adjustments.empty());
+}
+
+TEST(Adaptive, DriftGrowsTowardShiftedTraffic) {
+  AdaptiveController ctl(16);
+  std::vector<double> base(16, 1.0 / 16);
+  ctl.set_baseline(base);
+  double prev = ctl.drift();
+  for (int i = 0; i < 6; ++i) {
+    ctl.observe_batch(batch_hitting(3, 16, 64));
+    EXPECT_GE(ctl.drift(), prev - 1e-12);
+    prev = ctl.drift();
+  }
+  EXPECT_GT(ctl.drift(), 0.2);
+}
+
+TEST(Adaptive, MajorShiftTriggersRelocation) {
+  AdaptiveOptions opts;
+  opts.major_threshold = 0.3;
+  AdaptiveController ctl(16, opts);
+  std::vector<double> base(16, 1.0 / 16);
+  ctl.set_baseline(base);
+  // All traffic collapses onto cluster 7.
+  std::vector<std::vector<std::uint32_t>> probes(64, {7u});
+  for (int i = 0; i < 12; ++i) ctl.observe_batch(probes);
+  const std::vector<std::size_t> sizes(16, 100);
+  const std::vector<std::size_t> copies(16, 1);
+  const auto rec = ctl.recommend(sizes, copies, 50.0);
+  EXPECT_EQ(rec.action, AdaptAction::kRelocate);
+  EXPECT_GT(rec.drift, 0.3);
+}
+
+TEST(Adaptive, MinorShiftAdjustsCopies) {
+  AdaptiveOptions opts;
+  opts.minor_threshold = 0.05;
+  opts.major_threshold = 0.9;  // never relocate in this test
+  AdaptiveController ctl(8, opts);
+  std::vector<double> base(8, 0.125);
+  ctl.set_baseline(base);
+  for (int i = 0; i < 8; ++i) ctl.observe_batch(batch_hitting(2, 8, 64));
+
+  const std::vector<std::size_t> sizes(8, 1000);
+  const std::vector<std::size_t> copies(8, 1);
+  // Average per-DPU workload small enough that the hot cluster now wants
+  // several replicas.
+  const auto rec = ctl.recommend(sizes, copies, 150.0);
+  EXPECT_EQ(rec.action, AdaptAction::kAdjustCopies);
+  bool hot_gets_more = false;
+  for (const auto& adj : rec.adjustments) {
+    if (adj.cluster == 2) hot_gets_more = adj.delta > 0;
+  }
+  EXPECT_TRUE(hot_gets_more);
+}
+
+TEST(Adaptive, BaselineResetClearsDrift) {
+  AdaptiveController ctl(8);
+  std::vector<double> base(8, 0.125);
+  ctl.set_baseline(base);
+  for (int i = 0; i < 8; ++i) ctl.observe_batch(batch_hitting(1, 8, 32));
+  EXPECT_GT(ctl.drift(), 0.1);
+  // Rebuilding placement installs the estimate as the new baseline.
+  ctl.set_baseline(ctl.estimate());
+  EXPECT_NEAR(ctl.drift(), 0.0, 1e-12);
+}
+
+TEST(Adaptive, EmptyBatchIgnored) {
+  AdaptiveController ctl(4);
+  const auto est_before = ctl.estimate();
+  ctl.observe_batch({});
+  ctl.observe_batch({{99u}});  // out-of-range ids only
+  EXPECT_EQ(ctl.estimate(), est_before);
+  EXPECT_EQ(ctl.batches_observed(), 0u);
+}
+
+TEST(Adaptive, EstimateStaysNormalized) {
+  AdaptiveController ctl(8);
+  for (int i = 0; i < 5; ++i) ctl.observe_batch(batch_hitting(0, 8, 16));
+  double total = 0;
+  for (double v : ctl.estimate()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Adaptive, ActionNames) {
+  EXPECT_STREQ(adapt_action_name(AdaptAction::kNone), "none");
+  EXPECT_STREQ(adapt_action_name(AdaptAction::kAdjustCopies), "adjust-copies");
+  EXPECT_STREQ(adapt_action_name(AdaptAction::kRelocate), "relocate");
+}
+
+}  // namespace
+}  // namespace upanns::core

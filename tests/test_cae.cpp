@@ -1,0 +1,159 @@
+#include "core/cae.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace upanns::core {
+namespace {
+
+ivf::InvertedList make_list(const std::vector<std::vector<std::uint8_t>>& rows) {
+  ivf::InvertedList list;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    list.ids.push_back(static_cast<std::uint32_t>(i));
+    list.codes.insert(list.codes.end(), rows[i].begin(), rows[i].end());
+  }
+  return list;
+}
+
+// Rows with the paper's example triplet (1,15,26) at positions (0,1,2).
+ivf::InvertedList patterned_list(std::size_t n, std::size_t m,
+                                 double pattern_frac, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> rows(n, std::vector<std::uint8_t>(m));
+  for (auto& row : rows) {
+    for (auto& c : row) c = static_cast<std::uint8_t>(rng.below(256));
+    if (rng.uniform() < pattern_frac && m >= 3) {
+      row[0] = 1;
+      row[1] = 15;
+      row[2] = 26;
+    }
+  }
+  return make_list(rows);
+}
+
+TEST(Cae, DirectEncodingRoundTrips) {
+  const auto list = patterned_list(50, 16, 0.0, 1);
+  const auto enc = direct_encode_cluster(list, 16);
+  EXPECT_TRUE(cae_stream_matches_codes(enc, list, 16));
+  EXPECT_EQ(enc.total_tokens, 50u * 16);
+  EXPECT_DOUBLE_EQ(enc.length_reduction(), 0.0);
+}
+
+TEST(Cae, EncodingRoundTripsRandomData) {
+  for (std::size_t m : {12u, 16u, 20u}) {
+    const auto list = patterned_list(200, m, 0.3, 2 + m);
+    const auto enc = cae_encode_cluster(list, m, CaeOptions{});
+    EXPECT_TRUE(cae_stream_matches_codes(enc, list, m)) << "m=" << m;
+  }
+}
+
+TEST(Cae, FindsPaperExampleTriplet) {
+  const auto list = patterned_list(300, 16, 0.5, 3);
+  const auto enc = cae_encode_cluster(list, 16, CaeOptions{});
+  ASSERT_FALSE(enc.combos.empty());
+  // The dominant combo is (1,15,26) at position 0.
+  EXPECT_EQ(enc.combos[0].pos, 0);
+  EXPECT_EQ(enc.combos[0].c0, 1);
+  EXPECT_EQ(enc.combos[0].c1, 15);
+  EXPECT_EQ(enc.combos[0].c2, 26);
+}
+
+TEST(Cae, LengthReductionGrowsWithPatternDensity) {
+  const auto sparse = cae_encode_cluster(patterned_list(400, 16, 0.2, 4), 16,
+                                         CaeOptions{});
+  const auto dense = cae_encode_cluster(patterned_list(400, 16, 0.9, 4), 16,
+                                        CaeOptions{});
+  EXPECT_GT(dense.length_reduction(), sparse.length_reduction());
+  EXPECT_GT(dense.length_reduction(), 0.05);
+}
+
+TEST(Cae, IdenticalRowsCollapseMaximally) {
+  // All-identical codes: every consecutive triplet is cacheable; with m=15
+  // the whole vector becomes 5 combo tokens (reduction 1 - 5/15 = 2/3).
+  std::vector<std::vector<std::uint8_t>> rows(
+      20, std::vector<std::uint8_t>(15, 7));
+  const auto list = make_list(rows);
+  const auto enc = cae_encode_cluster(list, 15, CaeOptions{});
+  EXPECT_TRUE(cae_stream_matches_codes(enc, list, 15));
+  EXPECT_NEAR(enc.length_reduction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Cae, MaxCombosRespected) {
+  CaeOptions opts;
+  opts.max_combos = 4;
+  opts.min_count = 1;
+  const auto list = patterned_list(500, 16, 0.0, 5);
+  const auto enc = cae_encode_cluster(list, 16, opts);
+  EXPECT_LE(enc.combos.size(), 4u);
+  EXPECT_TRUE(cae_stream_matches_codes(enc, list, 16));
+}
+
+TEST(Cae, MinCountFiltersRareCombos) {
+  CaeOptions opts;
+  opts.min_count = 1000;  // nothing qualifies
+  const auto list = patterned_list(100, 16, 0.5, 6);
+  const auto enc = cae_encode_cluster(list, 16, opts);
+  EXPECT_TRUE(enc.combos.empty());
+  EXPECT_DOUBLE_EQ(enc.length_reduction(), 0.0);
+}
+
+TEST(Cae, SmallMFallsBackToDirect) {
+  std::vector<std::vector<std::uint8_t>> rows(10, {1, 2});
+  const auto list = make_list(rows);
+  const auto enc = cae_encode_cluster(list, 2, CaeOptions{});
+  EXPECT_TRUE(cae_stream_matches_codes(enc, list, 2));
+  EXPECT_TRUE(enc.combos.empty());
+}
+
+TEST(Cae, EmptyListYieldsEmptyStream) {
+  ivf::InvertedList empty;
+  const auto enc = cae_encode_cluster(empty, 16, CaeOptions{});
+  EXPECT_EQ(enc.n_records, 0u);
+  EXPECT_TRUE(enc.tokens.empty());
+  EXPECT_TRUE(cae_stream_matches_codes(enc, empty, 16));
+}
+
+TEST(Cae, TokensDecodeWithinBounds) {
+  const auto list = patterned_list(100, 16, 0.6, 7);
+  const auto enc = cae_encode_cluster(list, 16, CaeOptions{});
+  std::size_t off = 0;
+  while (off < enc.tokens.size()) {
+    const std::uint16_t len = enc.tokens[off++];
+    EXPECT_LE(len, 16u);
+    for (std::uint16_t t = 0; t < len; ++t) {
+      const TokenRef ref = decode_token(enc.tokens[off++], 16);
+      if (ref.is_combo) {
+        EXPECT_LT(ref.value, enc.combos.size());
+      } else {
+        EXPECT_LT(ref.value, 16u * 256);
+      }
+    }
+  }
+  EXPECT_EQ(off, enc.tokens.size());
+}
+
+TEST(Cae, DeterministicEncoding) {
+  const auto list = patterned_list(150, 16, 0.4, 8);
+  const auto a = cae_encode_cluster(list, 16, CaeOptions{});
+  const auto b = cae_encode_cluster(list, 16, CaeOptions{});
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.combos.size(), b.combos.size());
+}
+
+TEST(Cae, StreamBytesMatchesTokens) {
+  const auto list = patterned_list(60, 12, 0.5, 9);
+  const auto enc = cae_encode_cluster(list, 12, CaeOptions{});
+  EXPECT_EQ(enc.stream_bytes(),
+            (enc.total_tokens + enc.n_records) * sizeof(std::uint16_t));
+}
+
+TEST(Cae, MismatchDetectedBySelfCheck) {
+  const auto list = patterned_list(20, 16, 0.0, 10);
+  auto enc = direct_encode_cluster(list, 16);
+  enc.tokens[1] ^= 1;  // corrupt one token
+  EXPECT_FALSE(cae_stream_matches_codes(enc, list, 16));
+}
+
+}  // namespace
+}  // namespace upanns::core

@@ -1,0 +1,98 @@
+#include "baselines/cpu_cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upanns::baselines {
+namespace {
+
+// A paper-parameter profile at a given scale (|C|=4096, nprobe=64, M=16).
+QueryWorkProfile profile_at(std::size_t n) {
+  QueryWorkProfile p;
+  p.n_queries = 1000;
+  p.n_clusters = 4096;
+  p.nprobe = 64;
+  p.dim = 128;
+  p.m = 16;
+  p.k = 10;
+  p.dataset_n = n;
+  p.total_candidates = p.n_queries * p.nprobe * (n / p.n_clusters);
+  p.max_cluster = 4 * (n / p.n_clusters);
+  return p;
+}
+
+TEST(CpuModel, Fig1MillionScaleLutDominates) {
+  const StageTimes t = CpuCostModel::stage_times(profile_at(1'000'000));
+  EXPECT_GT(t.lut_build, t.distance_calc);
+  EXPECT_GT(t.lut_build, t.cluster_filter);
+  EXPECT_GT(t.lut_build, t.topk);
+}
+
+TEST(CpuModel, Fig1BillionScaleDistanceDominates) {
+  const StageTimes t = CpuCostModel::stage_times(profile_at(1'000'000'000));
+  const double share = t.distance_calc / t.total();
+  // Paper Fig 19: ~99.5% of CPU query time is distance calculation.
+  EXPECT_GT(share, 0.97);
+}
+
+TEST(CpuModel, BottleneckShiftsWithScale) {
+  // The core Fig 1 observation: the dominant stage flips between 1M and 1B.
+  const StageTimes small = CpuCostModel::stage_times(profile_at(1'000'000));
+  const StageTimes big = CpuCostModel::stage_times(profile_at(1'000'000'000));
+  EXPECT_GT(small.lut_build / small.total(), small.distance_calc / small.total());
+  EXPECT_GT(big.distance_calc / big.total(), big.lut_build / big.total());
+}
+
+TEST(CpuModel, DistanceTimeSuperlinearInIvfReduction) {
+  // Same candidates per probe but shorter lists (higher IVF) lose locality:
+  // halving list length must NOT halve scan time (Sec 5.2 discussion).
+  QueryWorkProfile coarse = profile_at(1'000'000'000);
+  QueryWorkProfile fine = coarse;
+  fine.n_clusters *= 4;
+  fine.total_candidates /= 4;  // same nprobe, 4x smaller lists
+  const double t_coarse =
+      CpuCostModel::stage_times(coarse).distance_calc;
+  const double t_fine = CpuCostModel::stage_times(fine).distance_calc;
+  EXPECT_GT(t_fine, t_coarse / 4.0 * 1.3);
+  EXPECT_LT(t_fine, t_coarse);
+}
+
+TEST(CpuModel, ScanBytesCountsCodesAndIds) {
+  QueryWorkProfile p;
+  p.total_candidates = 100;
+  p.m = 16;
+  EXPECT_EQ(CpuCostModel::scan_bytes(p), 100u * 20);
+}
+
+TEST(CpuModel, MoreCandidatesMoreTime) {
+  QueryWorkProfile a = profile_at(1'000'000'000);
+  QueryWorkProfile b = a;
+  b.total_candidates *= 2;
+  EXPECT_GT(CpuCostModel::stage_times(b).distance_calc,
+            CpuCostModel::stage_times(a).distance_calc);
+}
+
+TEST(CpuModel, ScaleProfileLinear) {
+  const QueryWorkProfile p = profile_at(1'000'000);
+  const QueryWorkProfile s = scale_profile(p, 1'000'000'000);
+  EXPECT_EQ(s.dataset_n, 1'000'000'000u);
+  EXPECT_EQ(s.total_candidates, p.total_candidates * 1000);
+  EXPECT_EQ(s.max_cluster, p.max_cluster * 1000);
+  EXPECT_EQ(s.n_clusters, p.n_clusters);  // scale-free
+}
+
+TEST(CpuModel, ZeroQueriesZeroTimes) {
+  QueryWorkProfile p;
+  const StageTimes t = CpuCostModel::stage_times(p);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(StageTimes, TotalAndAccumulate) {
+  StageTimes a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(a.total(), 15.0);
+  StageTimes b{1, 1, 1, 1, 1};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), 20.0);
+}
+
+}  // namespace
+}  // namespace upanns::baselines

@@ -1,0 +1,120 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace upanns::data {
+namespace {
+
+TEST(Family, DimsMatchPaper) {
+  EXPECT_EQ(family_dim(DatasetFamily::kSiftLike), 128u);
+  EXPECT_EQ(family_dim(DatasetFamily::kDeepLike), 96u);
+  EXPECT_EQ(family_dim(DatasetFamily::kSpacevLike), 100u);
+}
+
+TEST(Family, PqMMatchPaper) {
+  // Paper Sec 5.1: DEEP1B -> 12 codes, SIFT1B -> 16, SPACEV1B -> 20.
+  EXPECT_EQ(family_pq_m(DatasetFamily::kSiftLike), 16u);
+  EXPECT_EQ(family_pq_m(DatasetFamily::kDeepLike), 12u);
+  EXPECT_EQ(family_pq_m(DatasetFamily::kSpacevLike), 20u);
+}
+
+TEST(Family, DimDivisibleByM) {
+  for (auto f : {DatasetFamily::kSiftLike, DatasetFamily::kDeepLike,
+                 DatasetFamily::kSpacevLike}) {
+    EXPECT_EQ(family_dim(f) % family_pq_m(f), 0u) << family_name(f);
+  }
+}
+
+TEST(Synthetic, ShapeMatchesSpec) {
+  const auto ds = generate_synthetic(sift1b_like(5000));
+  EXPECT_EQ(ds.n, 5000u);
+  EXPECT_EQ(ds.dim, 128u);
+  EXPECT_EQ(ds.values.size(), 5000u * 128);
+}
+
+TEST(Synthetic, DeterministicUnderSeed) {
+  const auto a = generate_synthetic(deep1b_like(2000, 42));
+  const auto b = generate_synthetic(deep1b_like(2000, 42));
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto a = generate_synthetic(deep1b_like(1000, 1));
+  const auto b = generate_synthetic(deep1b_like(1000, 2));
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(Synthetic, SiftValuesInByteRange) {
+  const auto ds = generate_synthetic(sift1b_like(3000));
+  for (float v : ds.values) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 255.f);
+  }
+}
+
+TEST(Synthetic, DeepVectorsUnitNorm) {
+  const auto ds = generate_synthetic(deep1b_like(500));
+  for (std::size_t i = 0; i < ds.n; ++i) {
+    double norm = 0;
+    const float* row = ds.row(i);
+    for (std::size_t d = 0; d < ds.dim; ++d) norm += row[d] * row[d];
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(Synthetic, SpacevValuesSignedSmall) {
+  const auto ds = generate_synthetic(spacev1b_like(2000));
+  bool has_negative = false;
+  for (float v : ds.values) {
+    EXPECT_GE(v, -127.f);
+    EXPECT_LE(v, 127.f);
+    EXPECT_EQ(v, std::round(v));  // integer-valued
+    has_negative = has_negative || v < 0;
+  }
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(Synthetic, SizeSigmaPerFamily) {
+  // DEEP1B-like carries the strongest skew (drives the Fig 12 OOM marks).
+  EXPECT_GT(family_size_sigma(DatasetFamily::kDeepLike),
+            family_size_sigma(DatasetFamily::kSpacevLike));
+  EXPECT_GT(family_size_sigma(DatasetFamily::kSpacevLike),
+            family_size_sigma(DatasetFamily::kSiftLike));
+}
+
+TEST(Synthetic, ThrowsOnEmptySpec) {
+  SyntheticSpec spec;
+  spec.n = 0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+}
+
+TEST(Synthetic, PatternsCreateDuplicateSubvectorGroups) {
+  // With pattern_prob near 1 and a tiny pool, many points must share their
+  // first 3-subspace group almost exactly — the raw material for CAE.
+  SyntheticSpec spec = sift1b_like(2000, 5);
+  spec.n_natural_clusters = 4;
+  spec.pattern_prob = 0.95;
+  spec.pattern_pool = 2;
+  const auto ds = generate_synthetic(spec);
+
+  // Count near-duplicate group prefixes (first 24 dims for SIFT m=16).
+  const std::size_t group_dims = 3 * (ds.dim / 16);
+  std::size_t near_dups = 0;
+  const std::size_t probe = 200;
+  for (std::size_t i = 0; i < probe; ++i) {
+    for (std::size_t j = i + 1; j < probe; ++j) {
+      double d = 0;
+      for (std::size_t g = 0; g < group_dims; ++g) {
+        const double diff = ds.row(i)[g] - ds.row(j)[g];
+        d += diff * diff;
+      }
+      if (d < 50.0) ++near_dups;  // jitter-level distance
+    }
+  }
+  EXPECT_GT(near_dups, 50u);
+}
+
+}  // namespace
+}  // namespace upanns::data

@@ -1,0 +1,44 @@
+#include "pim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upanns::pim {
+namespace {
+
+TEST(Energy, Table1PeakPowers) {
+  EXPECT_DOUBLE_EQ(platform_power_w(Platform::kCpu), 190.0);
+  EXPECT_DOUBLE_EQ(platform_power_w(Platform::kGpu), 300.0);
+  // 7 DIMMs x 23.22 W = 162.54 W ("162W total peak power", Sec 5.1).
+  EXPECT_NEAR(platform_power_w(Platform::kPim, 896), 162.54, 0.01);
+}
+
+TEST(Energy, PimPowerScalesByWholeDimms) {
+  EXPECT_DOUBLE_EQ(platform_power_w(Platform::kPim, 128),
+                   platform_power_w(Platform::kPim, 1));
+  EXPECT_DOUBLE_EQ(platform_power_w(Platform::kPim, 129),
+                   2 * 23.22);
+}
+
+TEST(Energy, QpsPerWatt) {
+  EXPECT_DOUBLE_EQ(qps_per_watt(300.0, Platform::kGpu), 1.0);
+  EXPECT_NEAR(qps_per_watt(162.54, Platform::kPim, 896), 1.0, 1e-9);
+}
+
+TEST(Energy, Joules) {
+  EXPECT_DOUBLE_EQ(energy_joules(Platform::kCpu, 2.0), 380.0);
+}
+
+TEST(Energy, GpuPowerParityDpuCount) {
+  // Paper Sec 5.5: 1654 DPUs match the A100's 300 W envelope.
+  const std::size_t parity = dpus_at_gpu_power_parity();
+  EXPECT_NEAR(static_cast<double>(parity), 1654.0, 2.0);
+}
+
+TEST(Energy, PricesMatchTable1) {
+  EXPECT_DOUBLE_EQ(platform_price_usd(Platform::kCpu), 1400.0);
+  EXPECT_DOUBLE_EQ(platform_price_usd(Platform::kGpu), 20000.0);
+  EXPECT_DOUBLE_EQ(platform_price_usd(Platform::kPim, 896), 2800.0);
+}
+
+}  // namespace
+}  // namespace upanns::pim

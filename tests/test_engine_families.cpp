@@ -1,0 +1,108 @@
+// Cross-family end-to-end coverage: the three paper datasets differ in
+// dimension (96/128/100), PQ code count (12/16/20) and skew, which changes
+// the WRAM layout (LUT 6-10 KB, codebook 24-32 KB) and the CAE group
+// geometry. Every family must fit real WRAM, retrieve sanely and exercise
+// every optimization.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_ivfpq.hpp"
+#include "core/engine.hpp"
+#include "data/ground_truth.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+
+namespace upanns::core {
+namespace {
+
+class FamilyEngineTest
+    : public ::testing::TestWithParam<data::DatasetFamily> {};
+
+TEST_P(FamilyEngineTest, EndToEndPipeline) {
+  const data::DatasetFamily family = GetParam();
+  data::SyntheticSpec spec;
+  spec.family = family;
+  spec.n = 6000;
+  spec.seed = 123;
+  spec.size_sigma = data::family_size_sigma(family);
+  spec.dense_core_frac = data::family_dense_core_frac(family);
+  const data::Dataset base = data::generate_synthetic(spec);
+
+  ivf::IvfBuildOptions build;
+  build.n_clusters = 24;
+  build.pq_m = spec.pq_m();
+  build.coarse_iters = 5;
+  build.pq_iters = 4;
+  const ivf::IvfIndex index = ivf::IvfIndex::build(base, build);
+  EXPECT_EQ(index.dim(), spec.dim());
+
+  data::WorkloadSpec wspec;
+  wspec.n_queries = 16;
+  wspec.seed = 9;
+  const auto wl = data::generate_workload(base, wspec);
+  const auto stats = ivf::collect_stats(
+      index, ivf::filter_batch(index, wl.queries, 6));
+
+  UpAnnsOptions opts = UpAnnsOptions::upanns();
+  opts.n_dpus = 8;
+  opts.nprobe = 6;
+  opts.k = 10;
+  // Full 24 tasklets: the tightest WRAM configuration must still fit.
+  opts.n_tasklets = 24;
+  UpAnnsEngine engine(index, stats, opts);
+  const auto r = engine.search(wl.queries);
+
+  // Accuracy tracks the float CPU pipeline.
+  baselines::CpuIvfpqSearcher cpu(index);
+  baselines::SearchParams params;
+  params.nprobe = 6;
+  params.k = 10;
+  const auto ref = cpu.search(wl.queries, params);
+  const auto gt = data::exact_topk(base, wl.queries, 10);
+  EXPECT_NEAR(data::recall_at_k(gt, r.neighbors, 10),
+              data::recall_at_k(gt, ref.neighbors, 10), 0.08)
+      << data::family_name(family);
+
+  // Every optimization did something.
+  EXPECT_GT(r.length_reduction, 0.0) << data::family_name(family);
+  EXPECT_GT(r.merge_insertions, 0u);
+  EXPECT_GT(r.times.distance_calc, 0.0);
+  EXPECT_GE(r.schedule_balance, 1.0 - 1e-9);
+}
+
+TEST_P(FamilyEngineTest, DirectTokenStreamRoundTripsViaEncoder) {
+  // CAE on real per-family PQ codes must round-trip (complement to the
+  // synthetic-code fuzz tests).
+  const data::DatasetFamily family = GetParam();
+  data::SyntheticSpec spec;
+  spec.family = family;
+  spec.n = 3000;
+  spec.seed = 321;
+  const data::Dataset base = data::generate_synthetic(spec);
+  ivf::IvfBuildOptions build;
+  build.n_clusters = 8;
+  build.pq_m = spec.pq_m();
+  build.coarse_iters = 4;
+  build.pq_iters = 3;
+  const ivf::IvfIndex index = ivf::IvfIndex::build(base, build);
+  for (std::size_t c = 0; c < index.n_clusters(); ++c) {
+    const auto enc =
+        cae_encode_cluster(index.list(c), index.pq_m(), CaeOptions{});
+    EXPECT_TRUE(cae_stream_matches_codes(enc, index.list(c), index.pq_m()))
+        << data::family_name(family) << " cluster " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilyEngineTest,
+                         ::testing::Values(data::DatasetFamily::kSiftLike,
+                                           data::DatasetFamily::kDeepLike,
+                                           data::DatasetFamily::kSpacevLike),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case data::DatasetFamily::kSiftLike: return "Sift";
+                             case data::DatasetFamily::kDeepLike: return "Deep";
+                             default: return "Spacev";
+                           }
+                         });
+
+}  // namespace
+}  // namespace upanns::core

@@ -1,0 +1,143 @@
+// Randomized invariant tests ("fuzz-lite"): placement and scheduling must
+// hold their contracts under arbitrary cluster-size/frequency skew, not just
+// on curated fixtures. Seeds are fixed for reproducibility.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/cae.hpp"
+#include "core/scheduler.hpp"
+
+namespace upanns::core {
+namespace {
+
+// Random placement structure without an index: exercise Algorithm 2 alone.
+Placement random_placement(common::Rng& rng, std::size_t n_clusters,
+                           std::size_t n_dpus) {
+  Placement p;
+  p.cluster_dpus.resize(n_clusters);
+  p.dpu_clusters.resize(n_dpus);
+  p.dpu_workload.assign(n_dpus, 0.0);
+  p.dpu_vectors.assign(n_dpus, 0);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const std::size_t ncpy = 1 + rng.below(std::min<std::size_t>(n_dpus, 4));
+    std::set<std::uint32_t> dpus;
+    while (dpus.size() < ncpy) {
+      dpus.insert(static_cast<std::uint32_t>(rng.below(n_dpus)));
+    }
+    for (auto d : dpus) {
+      p.cluster_dpus[c].push_back(d);
+      p.dpu_clusters[d].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  return p;
+}
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, InvariantsHoldUnderRandomInputs) {
+  common::Rng rng(GetParam());
+  const std::size_t n_clusters = 2 + rng.below(64);
+  const std::size_t n_dpus = 1 + rng.below(32);
+  const std::size_t n_queries = rng.below(64);
+  const std::size_t nprobe = 1 + rng.below(n_clusters);
+
+  const Placement placement = random_placement(rng, n_clusters, n_dpus);
+  std::vector<std::size_t> sizes(n_clusters);
+  for (auto& s : sizes) s = rng.below(10000);
+
+  std::vector<std::vector<std::uint32_t>> probes(n_queries);
+  for (auto& list : probes) {
+    std::set<std::uint32_t> chosen;
+    while (chosen.size() < nprobe) {
+      chosen.insert(static_cast<std::uint32_t>(rng.below(n_clusters)));
+    }
+    list.assign(chosen.begin(), chosen.end());
+  }
+
+  const Schedule s = schedule_queries(probes, placement, sizes);
+
+  // 1. Every (query, cluster) pair scheduled exactly once, on a holder.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> seen;
+  double accounted = 0;
+  for (std::size_t d = 0; d < s.n_dpus(); ++d) {
+    double w = 0;
+    for (const Assignment& a : s.per_dpu[d]) {
+      ++seen[{a.query, a.cluster}];
+      const auto& holders = placement.cluster_dpus[a.cluster];
+      EXPECT_NE(std::find(holders.begin(), holders.end(), d), holders.end());
+      w += static_cast<double>(sizes[a.cluster]);
+    }
+    EXPECT_NEAR(s.dpu_workload[d], w, 1e-6);
+    accounted += w;
+  }
+  std::size_t expected = 0;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    for (auto c : probes[q]) {
+      EXPECT_EQ((seen[{static_cast<std::uint32_t>(q), c}]), 1);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(s.total_assignments(), expected);
+
+  // 2. Workload conservation.
+  double total = 0;
+  for (const auto& list : probes) {
+    for (auto c : list) total += static_cast<double>(sizes[c]);
+  }
+  EXPECT_NEAR(accounted, total, 1e-6);
+
+  // 3. Per-DPU lists grouped by query.
+  for (const auto& list : s.per_dpu) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].query, list[i].query);
+    }
+  }
+
+  // 4. Smart scheduling never balances worse than naive.
+  const Schedule naive = schedule_naive(probes, placement, sizes);
+  if (s.total_assignments() > 0 && naive.balance_ratio() > 0) {
+    EXPECT_LE(s.balance_ratio(), naive.balance_ratio() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class CaeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CaeFuzz, RoundTripOnRandomCodeTables) {
+  common::Rng rng(GetParam() * 1000);
+  const std::size_t m = 3 + rng.below(22);
+  const std::size_t n = rng.below(400);
+  // Mix random rows with bursts of repeated rows (heavy co-occurrence).
+  ivf::InvertedList list;
+  std::vector<std::uint8_t> repeated(m);
+  for (auto& c : repeated) c = static_cast<std::uint8_t>(rng.below(256));
+  for (std::size_t i = 0; i < n; ++i) {
+    list.ids.push_back(static_cast<std::uint32_t>(i));
+    if (rng.uniform() < 0.4) {
+      list.codes.insert(list.codes.end(), repeated.begin(), repeated.end());
+    } else {
+      for (std::size_t s = 0; s < m; ++s) {
+        list.codes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+    }
+  }
+  CaeOptions opts;
+  opts.max_combos = 1 + rng.below(300);
+  opts.min_count = 1 + rng.below(5);
+  const auto enc = cae_encode_cluster(list, m, opts);
+  EXPECT_TRUE(cae_stream_matches_codes(enc, list, m))
+      << "m=" << m << " n=" << n;
+  EXPECT_GE(enc.length_reduction(), 0.0);
+  EXPECT_LT(enc.length_reduction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaeFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace upanns::core

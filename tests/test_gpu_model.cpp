@@ -1,0 +1,87 @@
+#include "baselines/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_cost_model.hpp"
+#include "common/hw_specs.hpp"
+
+namespace upanns::baselines {
+namespace {
+
+QueryWorkProfile billion_profile(std::size_t m = 16, std::size_t nprobe = 64,
+                                 std::size_t max_cluster = 1'500'000) {
+  QueryWorkProfile p;
+  p.n_queries = 1000;
+  p.n_clusters = 4096;
+  p.nprobe = nprobe;
+  p.dim = 128;
+  p.m = m;
+  p.k = 10;
+  p.dataset_n = 1'000'000'000;
+  p.total_candidates = p.n_queries * p.nprobe * (p.dataset_n / p.n_clusters);
+  p.max_cluster = max_cluster;
+  return p;
+}
+
+TEST(GpuModel, TopkDominatesAtBillionScale) {
+  // Paper: the top-k stage consumes >64% (up to 89%) of GPU runtime.
+  const StageTimes t = GpuModel::stage_times(billion_profile());
+  EXPECT_GT(t.topk / t.total(), 0.64);
+}
+
+TEST(GpuModel, DistanceFasterThanCpu) {
+  // The A100's 1935 GB/s makes the scan ~20x faster than the CPU's.
+  const auto p = billion_profile();
+  const double gpu = GpuModel::stage_times(p).distance_calc;
+  const double cpu = CpuCostModel::stage_times(p).distance_calc;
+  EXPECT_LT(gpu, cpu / 10.0);
+}
+
+TEST(GpuModel, TopkGrowsWithK) {
+  QueryWorkProfile a = billion_profile();
+  QueryWorkProfile b = a;
+  b.k = 100;
+  EXPECT_GT(GpuModel::stage_times(b).topk, GpuModel::stage_times(a).topk);
+}
+
+TEST(GpuModel, CapacityFitsSiftLikeSkew) {
+  // SIFT1B-like skew (max list ~6x the 244k average) fits at every nprobe.
+  for (std::size_t nprobe : {64u, 128u, 256u}) {
+    const auto cap = GpuModel::capacity(billion_profile(16, nprobe));
+    EXPECT_TRUE(cap.fits) << "nprobe=" << nprobe;
+  }
+}
+
+TEST(GpuModel, Fig12DeepOomPattern) {
+  // DEEP1B-like near-duplicate clump (~4% of 1B = 40M in one list): fits at
+  // nprobe=64, OOMs at 128 and 256 — the paper's blue 'X' marks.
+  const std::size_t clump = 40'000'000;
+  EXPECT_TRUE(GpuModel::capacity(billion_profile(12, 64, clump)).fits);
+  EXPECT_FALSE(GpuModel::capacity(billion_profile(12, 128, clump)).fits);
+  EXPECT_FALSE(GpuModel::capacity(billion_profile(12, 256, clump)).fits);
+}
+
+TEST(GpuModel, IndexBytesBelowCapacityForPaperDatasets) {
+  for (std::size_t m : {12u, 16u, 20u}) {
+    const auto cap = GpuModel::capacity(billion_profile(m, 64, 0));
+    EXPECT_LT(cap.index_bytes, hw::kGpuMemCapacity);
+  }
+}
+
+TEST(GpuModel, WorkspaceScalesWithProbe) {
+  const auto a = GpuModel::capacity(billion_profile(16, 64));
+  const auto b = GpuModel::capacity(billion_profile(16, 256));
+  EXPECT_NEAR(b.workspace_bytes / a.workspace_bytes, 4.0, 1e-9);
+}
+
+TEST(GpuModel, SyncLatencyFloorsSmallBatches) {
+  QueryWorkProfile p = billion_profile();
+  p.n_queries = 1;
+  p.total_candidates = p.nprobe * (p.dataset_n / p.n_clusters);
+  const StageTimes t = GpuModel::stage_times(p);
+  EXPECT_GE(t.cluster_filter, hw::kGpuSyncLatency);
+  EXPECT_GE(t.lut_build, hw::kGpuSyncLatency);
+}
+
+}  // namespace
+}  // namespace upanns::baselines

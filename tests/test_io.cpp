@@ -1,0 +1,113 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/dataset.hpp"
+
+namespace upanns::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("upanns_io_") + name))
+        .string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  Dataset ds;
+  ds.dim = 4;
+  ds.n = 3;
+  ds.values = {1.5f, -2.f, 0.f, 3.f, 4.f, 5.f, 6.f, 7.f, 8.f, 9.f, 10.f, 11.f};
+  const auto p = track(path("a.fvecs"));
+  write_fvecs(p, ds);
+  const Dataset back = read_fvecs(p);
+  EXPECT_EQ(back.dim, ds.dim);
+  EXPECT_EQ(back.n, ds.n);
+  EXPECT_EQ(back.values, ds.values);
+}
+
+TEST_F(IoTest, BvecsRoundTripQuantizes) {
+  Dataset ds;
+  ds.dim = 2;
+  ds.n = 2;
+  ds.values = {0.f, 255.f, 17.f, 200.f};
+  const auto p = track(path("b.bvecs"));
+  write_bvecs(p, ds);
+  const Dataset back = read_bvecs(p);
+  EXPECT_EQ(back.values, ds.values);
+}
+
+TEST_F(IoTest, IvecsRoundTrip) {
+  const std::vector<std::vector<std::int32_t>> rows = {{1, 2, 3}, {}, {-5}};
+  const auto p = track(path("c.ivecs"));
+  write_ivecs(p, rows);
+  EXPECT_EQ(read_ivecs(p), rows);
+}
+
+TEST_F(IoTest, MaxRowsLimits) {
+  Dataset ds;
+  ds.dim = 1;
+  ds.n = 5;
+  ds.values = {0, 1, 2, 3, 4};
+  const auto p = track(path("d.fvecs"));
+  write_fvecs(p, ds);
+  const Dataset back = read_fvecs(p, 2);
+  EXPECT_EQ(back.n, 2u);
+  EXPECT_EQ(back.values, (std::vector<float>{0, 1}));
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_fvecs(path("missing.fvecs")), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedRowThrows) {
+  const auto p = track(path("e.fvecs"));
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  const std::int32_t dim = 8;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  const float one = 1.f;
+  std::fwrite(&one, sizeof(one), 1, f);  // only 1 of 8 values
+  std::fclose(f);
+  EXPECT_THROW(read_fvecs(p), std::runtime_error);
+}
+
+TEST_F(IoTest, NegativeDimThrows) {
+  const auto p = track(path("f.fvecs"));
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  const std::int32_t dim = -3;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(read_fvecs(p), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyFileYieldsEmptyDataset) {
+  const auto p = track(path("g.fvecs"));
+  std::fclose(std::fopen(p.c_str(), "wb"));
+  const Dataset ds = read_fvecs(p);
+  EXPECT_EQ(ds.n, 0u);
+}
+
+TEST_F(IoTest, SyntheticSurvivesRoundTrip) {
+  const Dataset ds = generate_synthetic(sift1b_like(200, 3));
+  const auto p = track(path("h.bvecs"));
+  write_bvecs(p, ds);  // SIFT-like values are integral bytes already
+  const Dataset back = read_bvecs(p);
+  EXPECT_EQ(back.values, ds.values);
+}
+
+}  // namespace
+}  // namespace upanns::data

@@ -1,0 +1,108 @@
+#include "ivf/ivf_flat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/ground_truth.hpp"
+#include "data/query_workload.hpp"
+
+namespace upanns::ivf {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(5000, 101));
+  IvfFlatIndex index = build();
+
+  IvfFlatIndex build() {
+    IvfFlatBuildOptions opts;
+    opts.n_clusters = 24;
+    opts.coarse_iters = 6;
+    return IvfFlatIndex::build(base, opts);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(IvfFlat, PartitionCoversAllPoints) {
+  auto& f = fixture();
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < f.index.n_clusters(); ++c) {
+    EXPECT_EQ(f.index.list_vectors(c).size(),
+              f.index.list_size(c) * f.index.dim());
+    for (auto id : f.index.list_ids(c)) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+    total += f.index.list_size(c);
+  }
+  EXPECT_EQ(total, f.base.n);
+}
+
+TEST(IvfFlat, FullProbeEqualsExactSearch) {
+  // With nprobe = |C| the search is exhaustive and must match brute force
+  // exactly (no quantization anywhere).
+  auto& f = fixture();
+  data::Dataset queries;
+  queries.dim = f.base.dim;
+  queries.n = 5;
+  queries.values.assign(f.base.values.begin(),
+                        f.base.values.begin() + 5 * f.base.dim);
+  const auto gt = data::exact_topk(f.base, queries, 10);
+  const auto res =
+      f.index.search_batch(queries, f.index.n_clusters(), 10);
+  for (std::size_t q = 0; q < queries.n; ++q) {
+    EXPECT_EQ(res[q], gt[q]) << "query " << q;
+  }
+}
+
+TEST(IvfFlat, RecallBeatsPqAtSameNprobe) {
+  // Flat lists have no quantization error: recall at a given nprobe is an
+  // upper bound for IVFPQ's.
+  auto& f = fixture();
+  data::WorkloadSpec spec;
+  spec.n_queries = 16;
+  spec.seed = 3;
+  const auto wl = data::generate_workload(f.base, spec);
+  const auto gt = data::exact_topk(f.base, wl.queries, 10);
+  const auto res = f.index.search_batch(wl.queries, 8, 10);
+  EXPECT_GT(data::recall_at_k(gt, res, 10), 0.75);
+}
+
+TEST(IvfFlat, RecallImprovesWithNprobe) {
+  auto& f = fixture();
+  data::WorkloadSpec spec;
+  spec.n_queries = 12;
+  spec.seed = 4;
+  const auto wl = data::generate_workload(f.base, spec);
+  const auto gt = data::exact_topk(f.base, wl.queries, 10);
+  double prev = -1;
+  for (std::size_t nprobe : {1u, 4u, 24u}) {
+    const double r =
+        data::recall_at_k(gt, f.index.search_batch(wl.queries, nprobe, 10), 10);
+    EXPECT_GE(r, prev - 1e-9);
+    prev = r;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);  // full probe = exact
+}
+
+TEST(IvfFlat, SharesWorkloadSemanticsWithIvfpq) {
+  // list_sizes feeds the same ClusterStats/placement machinery.
+  auto& f = fixture();
+  const auto sizes = f.index.list_sizes();
+  EXPECT_EQ(sizes.size(), f.index.n_clusters());
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+            f.base.n);
+}
+
+TEST(IvfFlat, EmptyDatasetRejected) {
+  EXPECT_THROW(IvfFlatIndex::build(data::Dataset{}, IvfFlatBuildOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upanns::ivf

@@ -1,0 +1,127 @@
+#include "core/multihost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/query_workload.hpp"
+
+namespace upanns::core {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(8000, 91));
+  ivf::IvfIndex index = build();
+  data::QueryWorkload wl;
+  ivf::ClusterStats stats;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 32;
+    opts.pq_m = 16;
+    opts.coarse_iters = 6;
+    opts.pq_iters = 4;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  Fixture() {
+    data::WorkloadSpec spec;
+    spec.n_queries = 16;
+    spec.seed = 6;
+    wl = data::generate_workload(base, spec);
+    stats = ivf::collect_stats(index,
+                               ivf::filter_batch(index, wl.queries, 8));
+  }
+
+  MultiHostOptions opts(std::size_t hosts) const {
+    MultiHostOptions o;
+    o.n_hosts = hosts;
+    o.per_host = UpAnnsOptions::upanns();
+    o.per_host.n_dpus = 8;
+    o.per_host.nprobe = 8;
+    o.per_host.k = 10;
+    return o;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(MultiHost, RejectsZeroHosts) {
+  auto& f = fixture();
+  EXPECT_THROW(MultiHostUpAnns(f.index, f.stats, f.opts(0)),
+               std::invalid_argument);
+}
+
+TEST(MultiHost, EveryClusterOwnedByExactlyOneHost) {
+  auto& f = fixture();
+  MultiHostUpAnns mh(f.index, f.stats, f.opts(3));
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t c = 0; c < f.index.n_clusters(); ++c) {
+    ASSERT_LT(mh.host_of(c), 3u);
+    ++counts[mh.host_of(c)];
+  }
+  // Balanced-ish sharding: no host empty.
+  for (auto cnt : counts) EXPECT_GT(cnt, 0u);
+}
+
+TEST(MultiHost, MatchesSingleEngineResults) {
+  // Union of per-host scans covers exactly the probed clusters, and the
+  // quantized distance pipeline is per-(query, cluster): a 3-host system
+  // must retrieve the same neighbors as one engine over the whole index.
+  auto& f = fixture();
+  MultiHostUpAnns mh(f.index, f.stats, f.opts(3));
+  const auto multi = mh.search(f.wl.queries);
+
+  UpAnnsOptions single = f.opts(1).per_host;
+  single.n_dpus = 24;
+  UpAnnsEngine engine(f.index, f.stats, single);
+  const auto mono = engine.search(f.wl.queries);
+
+  ASSERT_EQ(multi.neighbors.size(), mono.neighbors.size());
+  for (std::size_t q = 0; q < multi.neighbors.size(); ++q) {
+    ASSERT_EQ(multi.neighbors[q].size(), mono.neighbors[q].size());
+    for (std::size_t i = 0; i < multi.neighbors[q].size(); ++i) {
+      EXPECT_NEAR(multi.neighbors[q][i].dist, mono.neighbors[q][i].dist,
+                  1e-3f * (1.f + mono.neighbors[q][i].dist))
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(MultiHost, SingleHostEquivalentToEngine) {
+  auto& f = fixture();
+  MultiHostUpAnns mh(f.index, f.stats, f.opts(1));
+  const auto multi = mh.search(f.wl.queries);
+  UpAnnsEngine engine(f.index, f.stats, f.opts(1).per_host);
+  const auto mono = engine.search(f.wl.queries);
+  for (std::size_t q = 0; q < multi.neighbors.size(); ++q) {
+    EXPECT_EQ(multi.neighbors[q], mono.neighbors[q]);
+  }
+}
+
+TEST(MultiHost, MoreHostsReduceSlowestHostTime) {
+  auto& f = fixture();
+  MultiHostUpAnns one(f.index, f.stats, f.opts(1));
+  MultiHostUpAnns four(f.index, f.stats, f.opts(4));
+  const double t1 = one.search(f.wl.queries).slowest_host_seconds;
+  const double t4 = four.search(f.wl.queries).slowest_host_seconds;
+  // Each host scans ~1/4 of the clusters on its own PIM hardware.
+  EXPECT_LT(t4, t1 * 0.6);
+}
+
+TEST(MultiHost, NetworkCostsAccounted) {
+  auto& f = fixture();
+  MultiHostUpAnns mh(f.index, f.stats, f.opts(2));
+  const auto r = mh.search(f.wl.queries);
+  EXPECT_GT(r.network_seconds, 0.0);
+  EXPECT_GE(r.seconds, r.slowest_host_seconds);
+  EXPECT_NEAR(r.seconds, r.slowest_host_seconds + r.network_seconds, 1e-12);
+  EXPECT_EQ(r.host_times.size(), 2u);
+  EXPECT_GT(r.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace upanns::core

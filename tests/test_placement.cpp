@@ -1,0 +1,192 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/stats.hpp"
+#include "data/query_workload.hpp"
+
+namespace upanns::core {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::spacev1b_like(10000, 9));
+  ivf::IvfIndex index = build();
+  ivf::ClusterStats stats;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 48;
+    opts.pq_m = 20;
+    opts.coarse_iters = 6;
+    opts.pq_iters = 4;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  Fixture() {
+    // Skewed history: low cluster ids far more popular.
+    std::vector<std::vector<std::uint32_t>> history;
+    for (std::uint32_t c = 0; c < 48; ++c) {
+      const std::size_t hits = c < 5 ? 60 : (c < 20 ? 6 : 1);
+      for (std::size_t h = 0; h < hits; ++h) history.push_back({c});
+    }
+    stats = ivf::collect_stats(index, history);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+PlacementOptions opts_for(std::size_t ndpu) {
+  PlacementOptions o;
+  o.n_dpus = ndpu;
+  return o;
+}
+
+TEST(Placement, EveryNonEmptyClusterPlaced) {
+  auto& f = fixture();
+  const Placement p = place_clusters(f.index, f.stats, opts_for(16));
+  for (std::size_t c = 0; c < f.index.n_clusters(); ++c) {
+    if (f.stats.sizes[c] > 0) {
+      EXPECT_FALSE(p.cluster_dpus[c].empty()) << "cluster " << c;
+    }
+  }
+}
+
+TEST(Placement, ReplicasOnDistinctDpus) {
+  auto& f = fixture();
+  const Placement p = place_clusters(f.index, f.stats, opts_for(16));
+  for (const auto& dpus : p.cluster_dpus) {
+    std::set<std::uint32_t> uniq(dpus.begin(), dpus.end());
+    EXPECT_EQ(uniq.size(), dpus.size());
+    for (auto d : dpus) EXPECT_LT(d, 16u);
+  }
+}
+
+TEST(Placement, HotClustersReplicated) {
+  // Clusters whose workload exceeds W-bar must receive multiple replicas
+  // (ncpy = ceil(W_i / W-bar), Algorithm 1 line 2).
+  auto& f = fixture();
+  const std::size_t ndpu = 16;
+  const Placement p = place_clusters(f.index, f.stats, opts_for(ndpu));
+  const double w_bar = f.stats.average_workload(ndpu);
+  for (std::size_t c = 0; c < f.index.n_clusters(); ++c) {
+    if (f.stats.workloads[c] > 2.0 * w_bar) {
+      EXPECT_GE(p.cluster_dpus[c].size(), 2u) << "hot cluster " << c;
+    }
+  }
+}
+
+TEST(Placement, ForwardAndReverseMapsConsistent) {
+  auto& f = fixture();
+  const Placement p = place_clusters(f.index, f.stats, opts_for(8));
+  for (std::size_t c = 0; c < p.cluster_dpus.size(); ++c) {
+    for (auto d : p.cluster_dpus[c]) {
+      const auto& on_d = p.dpu_clusters[d];
+      EXPECT_NE(std::find(on_d.begin(), on_d.end(), c), on_d.end());
+    }
+  }
+  std::size_t total = 0;
+  for (const auto& v : p.dpu_clusters) total += v.size();
+  EXPECT_EQ(total, p.total_replicas);
+}
+
+TEST(Placement, BetterBalancedThanRandom) {
+  auto& f = fixture();
+  const Placement smart = place_clusters(f.index, f.stats, opts_for(16));
+  const Placement rand = place_random(f.index, f.stats, opts_for(16), 3);
+  EXPECT_LT(common::max_over_mean(smart.dpu_workload),
+            common::max_over_mean(rand.dpu_workload));
+}
+
+TEST(Placement, RespectsMaxDpuVectors) {
+  auto& f = fixture();
+  PlacementOptions o = opts_for(16);
+  o.max_dpu_vectors = 2500;
+  const Placement p = place_clusters(f.index, f.stats, o);
+  for (auto v : p.dpu_vectors) EXPECT_LE(v, 2500u);
+}
+
+TEST(Placement, ThrowsWhenClusterExceedsDpuCapacity) {
+  auto& f = fixture();
+  PlacementOptions o = opts_for(4);
+  o.max_dpu_vectors = 10;  // smaller than any real cluster
+  EXPECT_THROW(place_clusters(f.index, f.stats, o), std::runtime_error);
+}
+
+TEST(Placement, ZeroDpusRejected) {
+  auto& f = fixture();
+  EXPECT_THROW(place_clusters(f.index, f.stats, opts_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW(place_random(f.index, f.stats, opts_for(0)),
+               std::invalid_argument);
+}
+
+TEST(Placement, RandomPlacesOncePerCluster) {
+  auto& f = fixture();
+  const Placement p = place_random(f.index, f.stats, opts_for(8), 7);
+  for (std::size_t c = 0; c < p.cluster_dpus.size(); ++c) {
+    if (f.stats.sizes[c] > 0) {
+      EXPECT_EQ(p.cluster_dpus[c].size(), 1u);
+    }
+  }
+}
+
+TEST(Placement, ProximityOrderIsPermutation) {
+  auto& f = fixture();
+  const auto order = proximity_order(f.index);
+  std::set<std::uint32_t> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), f.index.n_clusters());
+  EXPECT_EQ(seen.size(), f.index.n_clusters());
+}
+
+TEST(Placement, ProximityOrderChainsNeighbors) {
+  // Consecutive clusters in the order should be far closer on average than
+  // random pairs.
+  auto& f = fixture();
+  const auto order = proximity_order(f.index);
+  double chain = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    chain += quant::l2_sq(f.index.centroid(order[i - 1]),
+                          f.index.centroid(order[i]), f.index.dim());
+  }
+  chain /= static_cast<double>(order.size() - 1);
+  double random = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < order.size(); i += 3) {
+    for (std::size_t j = i + 7; j < order.size(); j += 11) {
+      random += quant::l2_sq(f.index.centroid(i), f.index.centroid(j),
+                             f.index.dim());
+      ++pairs;
+    }
+  }
+  random /= static_cast<double>(pairs);
+  EXPECT_LT(chain, random);
+}
+
+TEST(Placement, MramBytesPerVectorSane) {
+  EXPECT_GT(mram_bytes_per_vector(16), 16u);
+  EXPECT_LT(mram_bytes_per_vector(16), 64u);
+  EXPECT_GT(mram_bytes_per_vector(20), mram_bytes_per_vector(12));
+}
+
+TEST(Placement, WorkloadAccountingMatchesReplicas) {
+  auto& f = fixture();
+  const Placement p = place_clusters(f.index, f.stats, opts_for(8));
+  // Sum of per-DPU workloads equals the sum over clusters of W_i (replicas
+  // split a cluster's workload evenly).
+  const double placed =
+      std::accumulate(p.dpu_workload.begin(), p.dpu_workload.end(), 0.0);
+  double expected = 0;
+  for (std::size_t c = 0; c < f.index.n_clusters(); ++c) {
+    if (!p.cluster_dpus[c].empty()) expected += f.stats.workloads[c];
+  }
+  EXPECT_NEAR(placed, expected, 1e-6 * expected);
+}
+
+}  // namespace
+}  // namespace upanns::core

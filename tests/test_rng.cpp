@@ -1,0 +1,178 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace upanns::common {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto x0 = a();
+  const auto x1 = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x0);
+  EXPECT_EQ(a(), x1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-3.f, 7.f);
+    EXPECT_GE(v, -3.f);
+    EXPECT_LT(v, 7.f);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double total = 0;
+  for (std::size_t r = 0; r < z.size(); ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  ZipfSampler z(50, 1.2);
+  for (std::size_t r = 1; r < z.size(); ++r) {
+    EXPECT_GE(z.pmf(0), z.pmf(r));
+  }
+}
+
+TEST(ZipfSampler, SkewMatchesExponent) {
+  // With exponent 1.0, pmf(0)/pmf(99) == 100. The sampler reproduces the
+  // paper's ~500x access-frequency spread with a few hundred ranks.
+  ZipfSampler z(100, 1.0);
+  EXPECT_NEAR(z.pmf(0) / z.pmf(99), 100.0, 1.0);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesDecreasing) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(19);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[19]);
+}
+
+TEST(ZipfSampler, SampleWithinRange) {
+  ZipfSampler z(7, 0.8);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.sample(rng), 7u);
+  }
+}
+
+TEST(LogNormalSampler, PositiveAndSkewed) {
+  LogNormalSampler s(0.0, 1.6);
+  Rng rng(29);
+  double mn = 1e30, mx = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = s.sample(rng);
+    EXPECT_GT(v, 0.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  // Heavy tail: several orders of magnitude between extremes (Fig 4b).
+  EXPECT_GT(mx / mn, 1e3);
+}
+
+TEST(Permutation, IsBijective) {
+  Rng rng(31);
+  const auto p = random_permutation(1000, rng);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Permutation, ShuffleKeepsElements) {
+  Rng rng(37);
+  std::vector<std::uint32_t> v{5, 6, 7, 8, 9};
+  shuffle_indices(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{5, 6, 7, 8, 9}));
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, CdfMonotone) {
+  ZipfSampler z(64, GetParam());
+  double prev = 0;
+  for (std::size_t r = 0; r < z.size(); ++r) {
+    const double p = z.pmf(r);
+    EXPECT_GE(p, 0.0);
+    if (r > 0) EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace upanns::common

@@ -1,0 +1,137 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace upanns::core {
+namespace {
+
+// Hand-built placement: 4 DPUs, 6 clusters; cluster 0 replicated on all.
+Placement make_placement() {
+  Placement p;
+  p.cluster_dpus = {{0, 1, 2, 3}, {0}, {1}, {2}, {3}, {0, 2}};
+  p.dpu_clusters.resize(4);
+  for (std::size_t c = 0; c < p.cluster_dpus.size(); ++c) {
+    for (auto d : p.cluster_dpus[c]) p.dpu_clusters[d].push_back(c);
+  }
+  p.dpu_workload.assign(4, 0.0);
+  p.dpu_vectors.assign(4, 0);
+  return p;
+}
+
+const std::vector<std::size_t> kSizes = {100, 50, 50, 50, 50, 80};
+
+TEST(Scheduler, EveryProbeAssignedExactlyOnce) {
+  const Placement p = make_placement();
+  const std::vector<std::vector<std::uint32_t>> probes = {
+      {0, 1, 2}, {0, 3}, {4, 5}, {0, 5}};
+  const Schedule s = schedule_queries(probes, p, kSizes);
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> count;
+  for (std::size_t d = 0; d < s.n_dpus(); ++d) {
+    for (const Assignment& a : s.per_dpu[d]) {
+      ++count[{a.query, a.cluster}];
+      // The DPU must actually hold a replica of the cluster.
+      const auto& dpus = p.cluster_dpus[a.cluster];
+      EXPECT_NE(std::find(dpus.begin(), dpus.end(), d), dpus.end());
+    }
+  }
+  std::size_t expected = 0;
+  for (std::size_t q = 0; q < probes.size(); ++q) {
+    for (auto c : probes[q]) {
+      EXPECT_EQ((count[{static_cast<std::uint32_t>(q), c}]), 1);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(s.total_assignments(), expected);
+}
+
+TEST(Scheduler, SingleReplicaForced) {
+  const Placement p = make_placement();
+  const std::vector<std::vector<std::uint32_t>> probes = {{1}, {2}, {3}, {4}};
+  const Schedule s = schedule_queries(probes, p, kSizes);
+  // cluster 1 -> dpu 0, 2 -> 1, 3 -> 2, 4 -> 3.
+  EXPECT_EQ(s.per_dpu[0].size(), 1u);
+  EXPECT_EQ(s.per_dpu[0][0].cluster, 1u);
+  EXPECT_EQ(s.per_dpu[1][0].cluster, 2u);
+  EXPECT_EQ(s.per_dpu[2][0].cluster, 3u);
+  EXPECT_EQ(s.per_dpu[3][0].cluster, 4u);
+}
+
+TEST(Scheduler, ReplicatedClusterGoesToLeastLoaded) {
+  const Placement p = make_placement();
+  // Load DPU 0 with singles, then ask for replicated cluster 0: it must
+  // avoid DPU 0.
+  const std::vector<std::vector<std::uint32_t>> probes = {{1}, {1}, {1}, {0}};
+  const Schedule s = schedule_queries(probes, p, kSizes);
+  for (const auto& a : s.per_dpu[0]) {
+    EXPECT_NE(a.cluster, 0u);
+  }
+}
+
+TEST(Scheduler, BalancesReplicatedLoad) {
+  const Placement p = make_placement();
+  // 8 queries all probing the fully replicated cluster 0: spread evenly.
+  std::vector<std::vector<std::uint32_t>> probes(8, {0});
+  const Schedule s = schedule_queries(probes, p, kSizes);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(s.per_dpu[d].size(), 2u) << "dpu " << d;
+  }
+  EXPECT_NEAR(s.balance_ratio(), 1.0, 1e-9);
+}
+
+TEST(Scheduler, WorkloadCountsClusterSizes) {
+  const Placement p = make_placement();
+  const std::vector<std::vector<std::uint32_t>> probes = {{1, 2}};
+  const Schedule s = schedule_queries(probes, p, kSizes);
+  EXPECT_DOUBLE_EQ(s.dpu_workload[0], 50.0);
+  EXPECT_DOUBLE_EQ(s.dpu_workload[1], 50.0);
+}
+
+TEST(Scheduler, AssignmentsGroupedByQuery) {
+  const Placement p = make_placement();
+  std::vector<std::vector<std::uint32_t>> probes = {{0, 1, 5}, {0, 1, 5},
+                                                    {0, 1, 5}};
+  const Schedule s = schedule_queries(probes, p, kSizes);
+  for (const auto& list : s.per_dpu) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].query, list[i].query);
+    }
+  }
+}
+
+TEST(Scheduler, NaiveUsesFirstReplica) {
+  const Placement p = make_placement();
+  std::vector<std::vector<std::uint32_t>> probes(6, {0});
+  const Schedule s = schedule_naive(probes, p, kSizes);
+  EXPECT_EQ(s.per_dpu[0].size(), 6u);  // all on replica 0: the hotspot
+  EXPECT_GT(s.balance_ratio(), 3.9);
+}
+
+TEST(Scheduler, SmartBeatsNaiveOnSkewedLoad) {
+  const Placement p = make_placement();
+  std::vector<std::vector<std::uint32_t>> probes(16, {0, 5});
+  const Schedule smart = schedule_queries(probes, p, kSizes);
+  const Schedule naive = schedule_naive(probes, p, kSizes);
+  EXPECT_LT(smart.balance_ratio(), naive.balance_ratio());
+}
+
+TEST(Scheduler, EmptyClusterListSkipped) {
+  Placement p = make_placement();
+  p.cluster_dpus.push_back({});  // cluster 6: nowhere resident (empty)
+  std::vector<std::size_t> sizes = kSizes;
+  sizes.push_back(0);
+  const std::vector<std::vector<std::uint32_t>> probes = {{6, 1}};
+  const Schedule s = schedule_queries(probes, p, sizes);
+  EXPECT_EQ(s.total_assignments(), 1u);
+}
+
+TEST(Scheduler, EmptyBatch) {
+  const Placement p = make_placement();
+  const Schedule s = schedule_queries({}, p, kSizes);
+  EXPECT_EQ(s.total_assignments(), 0u);
+}
+
+}  // namespace
+}  // namespace upanns::core

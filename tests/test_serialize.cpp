@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "ivf/ivf_index.hpp"
+
+namespace upanns {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("upanns_ser_") + name))
+      .string();
+}
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(4000, 71));
+  ivf::IvfIndex index = build();
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 16;
+    opts.pq_m = 16;
+    opts.coarse_iters = 5;
+    opts.pq_iters = 4;
+    return ivf::IvfIndex::build(base, opts);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(PqSerialize, RoundTrip) {
+  const auto& pq = fixture().index.pq();
+  std::stringstream ss;
+  pq.save(ss);
+  const auto back = quant::ProductQuantizer::load_from(ss);
+  EXPECT_EQ(back.dim(), pq.dim());
+  EXPECT_EQ(back.m(), pq.m());
+  EXPECT_EQ(back.dsub(), pq.dsub());
+  ASSERT_EQ(back.codebooks().size(), pq.codebooks().size());
+  for (std::size_t i = 0; i < pq.codebooks().size(); ++i) {
+    EXPECT_EQ(back.codebooks()[i], pq.codebooks()[i]);
+  }
+}
+
+TEST(PqSerialize, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "garbage-bytes-here";
+  EXPECT_THROW(quant::ProductQuantizer::load_from(ss), std::runtime_error);
+}
+
+TEST(IvfSerialize, RoundTripPreservesSearchResults) {
+  auto& f = fixture();
+  const std::string path = temp_path("index.bin");
+  f.index.save(path);
+  const ivf::IvfIndex back = ivf::IvfIndex::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.dim(), f.index.dim());
+  EXPECT_EQ(back.n_clusters(), f.index.n_clusters());
+  EXPECT_EQ(back.n_points(), f.index.n_points());
+
+  // Identical cluster filtering and list contents.
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(back.filter_clusters(f.base.row(q), 4),
+              f.index.filter_clusters(f.base.row(q), 4));
+  }
+  for (std::size_t c = 0; c < back.n_clusters(); ++c) {
+    EXPECT_EQ(back.list(c).ids, f.index.list(c).ids);
+    EXPECT_EQ(back.list(c).codes, f.index.list(c).codes);
+  }
+}
+
+TEST(IvfSerialize, MissingFileThrows) {
+  EXPECT_THROW(ivf::IvfIndex::load(temp_path("nonexistent.bin")),
+               std::runtime_error);
+}
+
+TEST(IvfSerialize, TruncatedFileThrows) {
+  auto& f = fixture();
+  const std::string path = temp_path("trunc.bin");
+  f.index.save(path);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(ivf::IvfIndex::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IvfSerialize, CorruptedMagicThrows) {
+  auto& f = fixture();
+  const std::string path = temp_path("magic.bin");
+  f.index.save(path);
+  {
+    std::fstream fs(path, std::ios::in | std::ios::out | std::ios::binary);
+    fs.seekp(0);
+    fs.write("XXXX", 4);
+  }
+  EXPECT_THROW(ivf::IvfIndex::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace upanns

@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace upanns::common {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, 500, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(10, 10, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.parallel_for(5, 6, [&](std::size_t i) { value = static_cast<int>(i); });
+  EXPECT_EQ(value, 5);
+}
+
+TEST(ThreadPool, ParallelForChunksPartition) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(
+      0, 1000,
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LT(lo, hi);
+        total.fetch_add(hi - lo);
+      },
+      16);
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, TinyRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 5, [&](std::size_t) { total.fetch_add(1); },
+                    /*min_chunk=*/64);
+  EXPECT_EQ(total.load(), 5u);
+}
+
+TEST(ThreadPool, SumReduction) {
+  ThreadPool pool(4);
+  std::vector<long> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, values.size(),
+                    [&](std::size_t i) { sum.fetch_add(values[i]); }, 32);
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, NestedSubmitFromTask) {
+  // Tasks submitted from within tasks must complete before wait_idle returns.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    count.fetch_add(1);
+    pool.submit([&] { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace upanns::common

@@ -1,0 +1,62 @@
+#include "pim/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace upanns::pim {
+namespace {
+
+TEST(Transfer, UniformIsParallel) {
+  const auto s = TransferEngine::batch({1024, 1024, 1024, 1024});
+  EXPECT_TRUE(s.parallel);
+  EXPECT_EQ(s.bytes, 4096u);
+  EXPECT_DOUBLE_EQ(s.seconds, 4096.0 / hw::kHostXferParallelBw);
+}
+
+TEST(Transfer, NonUniformSerializes) {
+  const auto s = TransferEngine::batch({1024, 2048});
+  EXPECT_FALSE(s.parallel);
+  EXPECT_DOUBLE_EQ(s.seconds, 3072.0 / hw::kHostXferSerialBw);
+}
+
+TEST(Transfer, SerialMuchSlowerThanParallel) {
+  // The architectural penalty UpANNS's uniform padding avoids (Sec 2.2).
+  const auto par = TransferEngine::batch({4096, 4096});
+  const auto ser = TransferEngine::batch({4096, 4104});
+  EXPECT_GT(ser.seconds, 10 * par.seconds);
+}
+
+TEST(Transfer, ZeroEntriesIgnoredForUniformity) {
+  const auto s = TransferEngine::batch({0, 512, 0, 512});
+  EXPECT_TRUE(s.parallel);
+  EXPECT_EQ(s.bytes, 1024u);
+}
+
+TEST(Transfer, AllZeroIsFree) {
+  const auto s = TransferEngine::batch({0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.seconds, 0.0);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+TEST(Transfer, EmptyVector) {
+  const auto s = TransferEngine::batch({});
+  EXPECT_DOUBLE_EQ(s.seconds, 0.0);
+}
+
+TEST(Transfer, SingleDpuIsUniform) {
+  EXPECT_TRUE(TransferEngine::batch({777}).parallel);
+}
+
+TEST(Transfer, UniformHelperMatchesBatch) {
+  const auto a = TransferEngine::uniform(8, 256);
+  const auto b = TransferEngine::batch(std::vector<std::size_t>(8, 256));
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Transfer, UniformZeroBytes) {
+  const auto s = TransferEngine::uniform(16, 0);
+  EXPECT_DOUBLE_EQ(s.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace upanns::pim

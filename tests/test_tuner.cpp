@@ -1,0 +1,93 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/query_workload.hpp"
+
+namespace upanns::core {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(6000, 81));
+  ivf::IvfIndex index = build();
+  data::Dataset queries;
+  std::vector<std::vector<common::Neighbor>> gt;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 32;
+    opts.pq_m = 16;
+    opts.coarse_iters = 6;
+    opts.pq_iters = 5;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  Fixture() {
+    data::WorkloadSpec spec;
+    spec.n_queries = 24;
+    spec.seed = 13;
+    queries = data::generate_workload(base, spec).queries;
+    gt = data::exact_topk(base, queries, 10);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Tuner, CurveIsMonotoneNonDecreasing) {
+  auto& f = fixture();
+  TuneOptions opts;
+  opts.target_recall = 2.0;  // unreachable: forces a full sweep
+  opts.grid = {1, 2, 4, 8, 16, 32};
+  const auto r = tune_nprobe(f.index, f.queries, f.gt, opts);
+  EXPECT_FALSE(r.target_met);
+  ASSERT_EQ(r.curve.size(), 6u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].second, r.curve[i - 1].second - 0.02)
+        << "nprobe " << r.curve[i].first;
+  }
+}
+
+TEST(Tuner, StopsAtFirstSatisfyingNprobe) {
+  auto& f = fixture();
+  TuneOptions opts;
+  opts.target_recall = 0.3;  // easy target
+  opts.grid = {1, 2, 4, 8, 16, 32};
+  const auto r = tune_nprobe(f.index, f.queries, f.gt, opts);
+  EXPECT_TRUE(r.target_met);
+  EXPECT_GE(r.recall, 0.3);
+  EXPECT_EQ(r.curve.size(),
+            static_cast<std::size_t>(
+                std::find_if(opts.grid.begin(), opts.grid.end(),
+                             [&](std::size_t g) { return g == r.nprobe; }) -
+                opts.grid.begin()) +
+                1);
+  // A smaller grid value would have missed the target.
+  for (std::size_t i = 0; i + 1 < r.curve.size(); ++i) {
+    EXPECT_LT(r.curve[i].second, 0.3);
+  }
+}
+
+TEST(Tuner, DefaultGridCoversFullIndex) {
+  auto& f = fixture();
+  TuneOptions opts;
+  opts.target_recall = 2.0;
+  const auto r = tune_nprobe(f.index, f.queries, f.gt, opts);
+  EXPECT_EQ(r.curve.back().first, f.index.n_clusters());
+  // Probing everything yields the best achievable PQ recall.
+  EXPECT_GT(r.curve.back().second, 0.5);
+}
+
+TEST(Tuner, RejectsBadValidation) {
+  auto& f = fixture();
+  TuneOptions opts;
+  data::Dataset empty;
+  EXPECT_THROW(tune_nprobe(f.index, empty, {}, opts), std::invalid_argument);
+  EXPECT_THROW(tune_nprobe(f.index, f.queries, {}, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upanns::core

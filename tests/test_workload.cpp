@@ -1,0 +1,135 @@
+#include "data/query_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/ground_truth.hpp"
+
+namespace upanns::data {
+namespace {
+
+Dataset small_base() { return generate_synthetic(sift1b_like(4000, 11)); }
+
+TEST(Workload, ShapeAndSources) {
+  const Dataset base = small_base();
+  WorkloadSpec spec;
+  spec.n_queries = 50;
+  const QueryWorkload wl = generate_workload(base, spec);
+  EXPECT_EQ(wl.queries.n, 50u);
+  EXPECT_EQ(wl.queries.dim, base.dim);
+  EXPECT_EQ(wl.source_points.size(), 50u);
+  for (auto s : wl.source_points) EXPECT_LT(s, base.n);
+}
+
+TEST(Workload, Deterministic) {
+  const Dataset base = small_base();
+  WorkloadSpec spec;
+  spec.n_queries = 20;
+  spec.seed = 77;
+  const auto a = generate_workload(base, spec);
+  const auto b = generate_workload(base, spec);
+  EXPECT_EQ(a.queries.values, b.queries.values);
+  EXPECT_EQ(a.source_points, b.source_points);
+}
+
+TEST(Workload, QueriesNearSources) {
+  // With small jitter the query's nearest neighbor should usually be its
+  // source point.
+  const Dataset base = small_base();
+  WorkloadSpec spec;
+  spec.n_queries = 30;
+  spec.jitter = 0.01;
+  const QueryWorkload wl = generate_workload(base, spec);
+  const auto gt = exact_topk(base, wl.queries, 1);
+  std::size_t hits = 0;
+  for (std::size_t q = 0; q < wl.queries.n; ++q) {
+    if (gt[q][0].id == wl.source_points[q]) ++hits;
+  }
+  EXPECT_GT(hits, 24u);
+}
+
+TEST(Workload, ZipfSkewConcentratesSources) {
+  const Dataset base = small_base();
+  WorkloadSpec spec;
+  spec.n_queries = 2000;
+  spec.zipf_exponent = 1.2;
+  const QueryWorkload wl = generate_workload(base, spec, /*n_regions=*/64);
+  // Count hits per region; top region must dominate the tail (Fig 4a skew).
+  const std::size_t region_len = (base.n + 63) / 64;
+  std::vector<std::size_t> hits(64, 0);
+  for (auto s : wl.source_points) ++hits[s / region_len];
+  std::sort(hits.rbegin(), hits.rend());
+  EXPECT_GT(hits[0], 10 * std::max<std::size_t>(1, hits[40]));
+}
+
+TEST(Workload, PopularityShiftChangesHotRegion) {
+  const Dataset base = small_base();
+  WorkloadSpec a;
+  a.n_queries = 500;
+  a.seed = 5;
+  WorkloadSpec b = a;
+  b.popularity_shift = 13;
+  const auto wa = generate_workload(base, a, 64);
+  const auto wb = generate_workload(base, b, 64);
+  EXPECT_NE(wa.source_points, wb.source_points);
+}
+
+TEST(EstimateFrequencies, NormalizedWithFloor) {
+  const std::vector<std::vector<std::uint32_t>> history = {{0, 1}, {0}, {0, 2}};
+  const auto f = estimate_frequencies(history, 4);
+  ASSERT_EQ(f.size(), 4u);
+  double total = 0;
+  for (double v : f) {
+    EXPECT_GT(v, 0.0);  // floor keeps unseen clusters placeable
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_GT(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], f[2]);
+  EXPECT_GT(f[1], f[3]);
+}
+
+TEST(EstimateFrequencies, EmptyHistoryUniform) {
+  const auto f = estimate_frequencies({}, 3);
+  EXPECT_DOUBLE_EQ(f[0], f[1]);
+  EXPECT_DOUBLE_EQ(f[1], f[2]);
+  EXPECT_NEAR(f[0] + f[1] + f[2], 1.0, 1e-9);
+}
+
+TEST(EstimateFrequencies, IgnoresOutOfRangeIds) {
+  const std::vector<std::vector<std::uint32_t>> history = {{0, 99}};
+  const auto f = estimate_frequencies(history, 2);
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_NEAR(f[0] + f[1], 1.0, 1e-9);
+}
+
+TEST(Recall, PerfectAndPartial) {
+  using common::Neighbor;
+  const std::vector<std::vector<Neighbor>> exact = {
+      {{0.f, 1}, {1.f, 2}}, {{0.f, 3}, {1.f, 4}}};
+  EXPECT_DOUBLE_EQ(recall_at_k(exact, exact, 2), 1.0);
+  const std::vector<std::vector<Neighbor>> half = {
+      {{0.f, 1}, {1.f, 9}}, {{0.f, 9}, {1.f, 4}}};
+  EXPECT_DOUBLE_EQ(recall_at_k(exact, half, 2), 0.5);
+}
+
+TEST(ExactTopk, SelfQueryFindsSelf) {
+  const Dataset base = generate_synthetic(deep1b_like(500, 3));
+  Dataset queries;
+  queries.dim = base.dim;
+  queries.n = 5;
+  queries.values.assign(base.values.begin(),
+                        base.values.begin() + 5 * base.dim);
+  const auto gt = exact_topk(base, queries, 3);
+  for (std::size_t q = 0; q < 5; ++q) {
+    EXPECT_EQ(gt[q][0].id, q);
+    EXPECT_FLOAT_EQ(gt[q][0].dist, 0.f);
+    EXPECT_TRUE(std::is_sorted(gt[q].begin(), gt[q].end()));
+  }
+}
+
+}  // namespace
+}  // namespace upanns::data
