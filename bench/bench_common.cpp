@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/log.hpp"
 
@@ -104,28 +105,6 @@ baselines::QueryWorkProfile paper_profile(
   return p;
 }
 
-baselines::StageTimes cpu_times_at_scale(const Config& cfg,
-                                         const baselines::CpuSearchResult& res) {
-  return baselines::CpuCostModel::stage_times(paper_profile(cfg, res.profile));
-}
-
-baselines::StageTimes gpu_times_at_scale(const Config& cfg,
-                                         const baselines::CpuSearchResult& res) {
-  return baselines::GpuModel::stage_times(paper_profile(cfg, res.profile));
-}
-
-baselines::GpuCapacity gpu_capacity_at_scale(
-    const Config& cfg, const baselines::CpuSearchResult& res) {
-  return baselines::GpuModel::capacity(paper_profile(cfg, res.profile));
-}
-
-core::PimSearchReport pim_at_scale(const Config& cfg,
-                                   const core::PimSearchReport& report) {
-  core::PimSearchReport r = report;
-  r.n_dpus = kPaperDpus;
-  return r.at_scale(cfg.data_factor(), cfg.dpu_factor());
-}
-
 double qps_of(const Config& cfg, const baselines::StageTimes& t) {
   const double total = t.total();
   return total > 0 ? static_cast<double>(cfg.n_queries) / total : 0;
@@ -139,62 +118,63 @@ core::UpAnnsOptions upanns_options(const Config& cfg) {
   return o;
 }
 
-core::UpAnnsOptions naive_options(const Config& cfg) {
-  core::UpAnnsOptions o = core::UpAnnsOptions::pim_naive();
-  o.n_dpus = cfg.n_dpus;
-  o.nprobe = cfg.nprobe;
-  o.k = cfg.k;
-  return o;
-}
-
-SystemRun run_cpu(const Config& cfg) {
-  Context& ctx = context_for(cfg);
-  baselines::CpuIvfpqSearcher searcher(*ctx.index);
-  baselines::SearchParams params;
-  params.nprobe = cfg.nprobe;
-  params.k = cfg.k;
-  const auto res = searcher.search(ctx.workload.queries, params);
-  SystemRun out;
-  out.times = cpu_times_at_scale(cfg, res);
-  out.qps = qps_of(cfg, out.times);
-  out.qps_per_watt = pim::qps_per_watt(out.qps, pim::Platform::kCpu);
-  return out;
-}
-
-SystemRun run_gpu(const Config& cfg) {
-  Context& ctx = context_for(cfg);
-  baselines::CpuIvfpqSearcher searcher(*ctx.index);
-  baselines::SearchParams params;
-  params.nprobe = cfg.nprobe;
-  params.k = cfg.k;
-  const auto res = searcher.search(ctx.workload.queries, params);
-  SystemRun out;
-  const auto cap = gpu_capacity_at_scale(cfg, res);
-  out.oom = !cap.fits;
-  out.times = gpu_times_at_scale(cfg, res);
-  out.qps = out.oom ? 0 : qps_of(cfg, out.times);
-  out.qps_per_watt = pim::qps_per_watt(out.qps, pim::Platform::kGpu);
-  return out;
-}
-
-SystemRun run_upanns(const Config& cfg,
-                     const core::UpAnnsOptions* override_opts) {
+std::unique_ptr<core::AnnsBackend> make_backend(
+    core::BackendKind kind, const Config& cfg,
+    const core::UpAnnsOptions* override_opts) {
   Context& ctx = context_for(cfg);
   const core::UpAnnsOptions opts =
       override_opts ? *override_opts : upanns_options(cfg);
-  core::UpAnnsEngine engine(*ctx.index, ctx.stats, opts);
-  const auto report = engine.search(ctx.workload.queries);
-  SystemRun out;
-  out.pim = pim_at_scale(cfg, report);
-  out.times = out.pim.times;
-  out.qps = out.pim.qps;
-  out.qps_per_watt = out.pim.qps_per_watt;
-  return out;
+  return core::make_backend(kind, *ctx.index, ctx.stats, opts);
 }
 
-SystemRun run_pim_naive(const Config& cfg) {
-  const core::UpAnnsOptions opts = naive_options(cfg);
-  return run_upanns(cfg, &opts);
+core::SearchReport at_paper_scale(const Config& cfg,
+                                  const core::SearchReport& measured) {
+  if (measured.pim.has_value()) {
+    return measured.at_scale(cfg.data_factor(), cfg.dpu_factor());
+  }
+  core::SearchReport r = measured;
+  if (measured.cpu.has_value()) {
+    r.times = baselines::CpuCostModel::stage_times(
+        paper_profile(cfg, measured.cpu->profile));
+    r.qps = qps_of(cfg, r.times);
+    r.qps_per_watt = pim::qps_per_watt(r.qps, pim::Platform::kCpu);
+    return r;
+  }
+  if (measured.gpu.has_value()) {
+    const auto profile = paper_profile(cfg, measured.gpu->profile);
+    r.gpu->capacity = baselines::GpuModel::capacity(profile);
+    r.gpu->oom = !r.gpu->capacity.fits;
+    r.times = baselines::GpuModel::stage_times(profile);
+    r.qps = r.gpu->oom ? 0 : qps_of(cfg, r.times);
+    r.qps_per_watt = pim::qps_per_watt(r.qps, pim::Platform::kGpu);
+    return r;
+  }
+  throw std::invalid_argument(
+      "at_paper_scale: report carries no backend extras");
+}
+
+core::SearchReport run_system(core::BackendKind kind, const Config& cfg,
+                              const core::UpAnnsOptions* override_opts) {
+  Context& ctx = context_for(cfg);
+  auto backend = make_backend(kind, cfg, override_opts);
+  return at_paper_scale(cfg, backend->search(ctx.workload.queries));
+}
+
+core::SearchReport run_cpu(const Config& cfg) {
+  return run_system(core::BackendKind::kCpuIvfpq, cfg);
+}
+
+core::SearchReport run_gpu(const Config& cfg) {
+  return run_system(core::BackendKind::kGpuIvfpq, cfg);
+}
+
+core::SearchReport run_upanns(const Config& cfg,
+                              const core::UpAnnsOptions* override_opts) {
+  return run_system(core::BackendKind::kUpAnns, cfg, override_opts);
+}
+
+core::SearchReport run_pim_naive(const Config& cfg) {
+  return run_system(core::BackendKind::kPimNaive, cfg);
 }
 
 }  // namespace upanns::bench

@@ -7,6 +7,10 @@
 // paper's 1B-point / 7-DIMM configuration. LUT construction, top-k merging,
 // scheduling and transfers are scale-free (they depend on |Q|, nprobe, m, k)
 // and are reported as measured.
+//
+// Every system runs through the core::AnnsBackend interface: one
+// `make_backend` factory, one `run_system` driver, one `core::SearchReport`
+// result shape. The per-figure mains only pick configs and print.
 #pragma once
 
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include "baselines/cpu_cost_model.hpp"
 #include "baselines/cpu_ivfpq.hpp"
 #include "baselines/gpu_model.hpp"
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "data/dataset.hpp"
 #include "data/ground_truth.hpp"
@@ -73,43 +78,37 @@ struct Context {
 /// Build (or fetch from the in-process cache) the context for a config.
 Context& context_for(const Config& cfg);
 
-/// CPU / GPU stage times extrapolated to the paper scale.
+/// Work profile rescaled to the paper's 1B-point configuration.
 baselines::QueryWorkProfile paper_profile(const Config& cfg,
                                           const baselines::QueryWorkProfile& measured);
-baselines::StageTimes cpu_times_at_scale(const Config& cfg,
-                                         const baselines::CpuSearchResult& res);
-baselines::StageTimes gpu_times_at_scale(const Config& cfg,
-                                         const baselines::CpuSearchResult& res);
-baselines::GpuCapacity gpu_capacity_at_scale(const Config& cfg,
-                                             const baselines::CpuSearchResult& res);
-
-/// PIM report extrapolated to paper scale (1B points, kPaperDpus DPUs).
-core::PimSearchReport pim_at_scale(const Config& cfg,
-                                   const core::PimSearchReport& report);
 
 /// QPS helpers (batch = the measured batch size).
 double qps_of(const Config& cfg, const baselines::StageTimes& t);
 
-/// Run one system on a config (probes shared so cluster filtering is
-/// computed once). Returns at-scale numbers.
-struct SystemRun {
-  double qps = 0;
-  double qps_per_watt = 0;
-  baselines::StageTimes times;  ///< at paper scale
-  double recall = 0;            ///< only filled when ground truth is passed
-  core::PimSearchReport pim;    ///< valid for PIM systems only
-  bool oom = false;             ///< GPU capacity check failed
-};
-
-SystemRun run_cpu(const Config& cfg);
-SystemRun run_gpu(const Config& cfg);
-SystemRun run_upanns(const Config& cfg,
-                     const core::UpAnnsOptions* override_opts = nullptr);
-SystemRun run_pim_naive(const Config& cfg);
-
-/// Default UpANNS options for a config.
+/// Default UpANNS options for a config (shared sizing knobs; `make_backend`
+/// derives the PIM-naive variant from the same options).
 core::UpAnnsOptions upanns_options(const Config& cfg);
-core::UpAnnsOptions naive_options(const Config& cfg);
+
+/// Construct a backend for this config on the cached context.
+std::unique_ptr<core::AnnsBackend> make_backend(
+    core::BackendKind kind, const Config& cfg,
+    const core::UpAnnsOptions* override_opts = nullptr);
+
+/// Extrapolate a measured report to the paper scale (1B points, kPaperDpus
+/// DPUs for PIM; the analytical cost models re-run on the rescaled profile
+/// for CPU/GPU). QPS, QPS/W and stage times are rewritten in place.
+core::SearchReport at_paper_scale(const Config& cfg,
+                                  const core::SearchReport& measured);
+
+/// Run one system end to end on a config and return at-scale numbers.
+core::SearchReport run_system(core::BackendKind kind, const Config& cfg,
+                              const core::UpAnnsOptions* override_opts = nullptr);
+
+core::SearchReport run_cpu(const Config& cfg);
+core::SearchReport run_gpu(const Config& cfg);
+core::SearchReport run_upanns(const Config& cfg,
+                              const core::UpAnnsOptions* override_opts = nullptr);
+core::SearchReport run_pim_naive(const Config& cfg);
 
 /// Clear the context cache (benches with many families call this to bound
 /// memory).

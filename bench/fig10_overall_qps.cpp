@@ -43,9 +43,9 @@ int main() {
       cfg.n_queries = 256;
       for (const std::size_t nprobe : nprobes) {
         cfg.nprobe = nprobe;
-        const SystemRun cpu = run_cpu(cfg);
-        const SystemRun naive = run_pim_naive(cfg);
-        const SystemRun up = run_upanns(cfg);
+        const core::SearchReport cpu = run_cpu(cfg);
+        const core::SearchReport naive = run_pim_naive(cfg);
+        const core::SearchReport up = run_upanns(cfg);
         cells.push_back({ivf, nprobe, cpu.qps, naive.qps, up.qps});
         if (ivf == 4096 && nprobe == 256) cpu_base = cpu.qps;
       }

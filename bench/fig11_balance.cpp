@@ -28,12 +28,12 @@ int main() {
         // clusters visited per query equal to the paper's nprobe / |C|.
         cfg.nprobe = std::max<std::size_t>(
             2, nprobe * cfg.scaled_ivf / ivf);
-        const SystemRun up = run_upanns(cfg);
-        const SystemRun naive = run_pim_naive(cfg);
+        const core::SearchReport up = run_upanns(cfg);
+        const core::SearchReport naive = run_pim_naive(cfg);
         table.add_row({data::family_name(family), std::to_string(ivf),
                        std::to_string(nprobe),
-                       metrics::Table::fmt(naive.pim.schedule_balance, 2),
-                       metrics::Table::fmt(up.pim.schedule_balance, 2)});
+                       metrics::Table::fmt(naive.pim->schedule_balance, 2),
+                       metrics::Table::fmt(up.pim->schedule_balance, 2)});
       }
     }
     table.print();

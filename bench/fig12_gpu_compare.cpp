@@ -15,7 +15,7 @@ int main() {
                             data::DatasetFamily::kSpacevLike}) {
     struct Cell {
       std::size_t ivf, nprobe;
-      SystemRun gpu, up;
+      core::SearchReport gpu, up;
     };
     std::vector<Cell> cells;
     double gpu_base = 0;
@@ -35,7 +35,7 @@ int main() {
            {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
         cfg.nprobe = nprobe;
         Cell c{ivf, nprobe, run_gpu(cfg), run_upanns(cfg)};
-        if (ivf == 4096 && nprobe == base_nprobe && !c.gpu.oom) {
+        if (ivf == 4096 && nprobe == base_nprobe && !c.gpu.gpu->oom) {
           gpu_base = c.gpu.qps;
         }
         cells.push_back(std::move(c));
@@ -50,12 +50,12 @@ int main() {
       table.add_row(
           {data::family_name(family), std::to_string(c.ivf),
            std::to_string(c.nprobe),
-           c.gpu.oom ? "X (OOM)" : metrics::Table::fmt(c.gpu.qps / gpu_base, 2),
+           c.gpu.gpu->oom ? "X (OOM)" : metrics::Table::fmt(c.gpu.qps / gpu_base, 2),
            metrics::Table::fmt(c.up.qps / gpu_base, 2),
-           c.gpu.oom ? "X"
+           c.gpu.gpu->oom ? "X"
                      : metrics::Table::fmt(c.gpu.qps_per_watt / gpu_base_w, 2),
            metrics::Table::fmt(c.up.qps_per_watt / gpu_base_w, 2),
-           c.gpu.oom ? "-"
+           c.gpu.gpu->oom ? "-"
                      : metrics::Table::fmt(
                            c.up.qps_per_watt / c.gpu.qps_per_watt, 2)});
     }

@@ -25,7 +25,7 @@ int main() {
     for (const unsigned t : {1u, 2u, 4u, 8u, 11u, 16u, 20u, 24u}) {
       core::UpAnnsOptions opts = upanns_options(cfg);
       opts.n_tasklets = t;
-      const SystemRun run = run_upanns(cfg, &opts);
+      const core::SearchReport run = run_upanns(cfg, &opts);
       if (t == 1) base = run.qps;
       table.add_row({data::family_name(family), std::to_string(t),
                      metrics::Table::fmt(run.qps / base, 2)});

@@ -28,11 +28,11 @@ int main() {
       core::UpAnnsOptions with = upanns_options(cfg);
       core::UpAnnsOptions without = upanns_options(cfg);
       without.opt_cae = false;
-      const SystemRun on = run_upanns(cfg, &with);
-      const SystemRun off = run_upanns(cfg, &without);
+      const core::SearchReport on = run_upanns(cfg, &with);
+      const core::SearchReport off = run_upanns(cfg, &without);
       table.add_row(
           {metrics::Table::fmt(density, 2), std::to_string(nprobe),
-           metrics::Table::fmt(on.pim.length_reduction * 100.0, 1),
+           metrics::Table::fmt(on.pim->length_reduction * 100.0, 1),
            metrics::Table::fmt(
                off.times.distance_calc / on.times.distance_calc, 2),
            metrics::Table::fmt(on.times.lut_build / off.times.lut_build, 2),

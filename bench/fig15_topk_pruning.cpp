@@ -28,11 +28,11 @@ int main() {
     core::UpAnnsOptions pruned = upanns_options(cfg);
     core::UpAnnsOptions unpruned = upanns_options(cfg);
     unpruned.opt_prune_topk = false;
-    const SystemRun with = run_upanns(cfg, &pruned);
-    const SystemRun without = run_upanns(cfg, &unpruned);
+    const core::SearchReport with = run_upanns(cfg, &pruned);
+    const core::SearchReport without = run_upanns(cfg, &unpruned);
     if (base == 0) base = with.times.topk;
     const double total_candidates = static_cast<double>(
-        with.pim.merge_insertions + with.pim.merge_pruned);
+        with.pim->merge_insertions + with.pim->merge_pruned);
     table.add_row(
         {std::to_string(k), metrics::Table::fmt(without.times.topk / base, 2),
          metrics::Table::fmt(with.times.topk / base, 2),
@@ -40,7 +40,7 @@ int main() {
              (1.0 - with.times.topk / without.times.topk) * 100.0, 1),
          metrics::Table::fmt(
              total_candidates > 0
-                 ? static_cast<double>(with.pim.merge_pruned) /
+                 ? static_cast<double>(with.pim->merge_pruned) /
                        total_candidates * 100.0
                  : 0.0,
              1)});

@@ -21,9 +21,9 @@ int main() {
     cfg.n_dpus = 64;
     cfg.n_queries = batch;
     cfg.nprobe = 64;
-    const SystemRun cpu = run_cpu(cfg);
-    const SystemRun naive = run_pim_naive(cfg);
-    const SystemRun up = run_upanns(cfg);
+    const core::SearchReport cpu = run_cpu(cfg);
+    const core::SearchReport naive = run_pim_naive(cfg);
+    const core::SearchReport up = run_upanns(cfg);
     const double nq = static_cast<double>(batch);
     table.add_row({std::to_string(batch),
                    metrics::Table::fmt(cpu.times.total() / nq * 1e3, 3),

@@ -28,7 +28,7 @@ int main() {
                                 std::size_t{64}}) {
       core::UpAnnsOptions opts = upanns_options(cfg);
       opts.mram_read_vectors = v;
-      const SystemRun run = run_upanns(cfg, &opts);
+      const core::SearchReport run = run_upanns(cfg, &opts);
       if (base == 0) base = run.qps;
       const std::size_t bytes =
           v * (data::family_pq_m(family) + 1) * sizeof(std::uint16_t);

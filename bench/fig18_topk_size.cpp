@@ -30,9 +30,9 @@ int main() {
     for (const std::size_t k : {std::size_t{1}, std::size_t{10},
                                 std::size_t{50}, std::size_t{100}}) {
       cfg.k = k;
-      const SystemRun cpu = run_cpu(cfg);
-      const SystemRun gpu = run_gpu(cfg);
-      const SystemRun up = run_upanns(cfg);
+      const core::SearchReport cpu = run_cpu(cfg);
+      const core::SearchReport gpu = run_gpu(cfg);
+      const core::SearchReport up = run_upanns(cfg);
       cells.push_back({k, cpu.qps, gpu.qps, up.qps});
       if (k == 100) cpu_base = cpu.qps;
     }

@@ -32,10 +32,8 @@ int main() {
     // per-DPU work to the target count, as everywhere else in the harness.
     cfg.n_dpus = target / 8;
     Context& ctx = context_for(cfg);
-    core::UpAnnsOptions opts = upanns_options(cfg);
-    core::UpAnnsEngine engine(*ctx.index, ctx.stats, opts);
-    auto report = engine.search(ctx.workload.queries);
-    report.n_dpus = target;
+    auto backend = make_backend(core::BackendKind::kUpAnns, cfg);
+    const auto report = backend->search(ctx.workload.queries);
     // 500M-point scale: per-list factor relative to the scaled run.
     const double data_factor =
         (5e8 / static_cast<double>(cfg.paper_ivf)) /
@@ -60,12 +58,9 @@ int main() {
   // GPU reference at the same 500M scale.
   cfg.n_dpus = 64;
   Context& ctx = context_for(cfg);
-  baselines::CpuIvfpqSearcher searcher(*ctx.index);
-  baselines::SearchParams params;
-  params.nprobe = cfg.nprobe;
-  params.k = cfg.k;
-  const auto res = searcher.search(ctx.workload.queries, params);
-  auto profile = res.profile;
+  auto gpu_backend = make_backend(core::BackendKind::kGpuIvfpq, cfg);
+  const auto gpu_report = gpu_backend->search(ctx.workload.queries);
+  auto profile = gpu_report.gpu->profile;
   {
     const double f = (5e8 / static_cast<double>(cfg.paper_ivf)) /
                      (static_cast<double>(cfg.n) /

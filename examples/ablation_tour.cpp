@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
@@ -76,13 +77,12 @@ int main(int argc, char** argv) {
               "QPS@1B", "balance", "LUT%", "dist%", "topk%", "xfer%");
   std::vector<common::Neighbor> reference;
   for (const Step& step : steps) {
-    core::UpAnnsEngine engine(index, stats, step.opts);
-    auto r = engine.search(wl.queries);
-    r.n_dpus = 896;
-    r = r.at_scale(per_list_factor, dpu_factor);
+    core::UpAnnsBackend backend(index, stats, step.opts, step.name);
+    // dpu_factor = 64/896 implies the 896-DPU target for power accounting.
+    const auto r = backend.search(wl.queries).at_scale(per_list_factor, dpu_factor);
     const auto s = metrics::shares(r.times);
     std::printf("%-32s %10.1f %9.2f %8.1f %8.1f %8.1f %8.1f\n", step.name,
-                r.qps, r.schedule_balance, s.lut_build, s.distance_calc,
+                r.qps, r.pim->schedule_balance, s.lut_build, s.distance_calc,
                 s.topk, s.transfer);
     if (reference.empty()) {
       reference = r.neighbors[0];

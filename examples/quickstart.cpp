@@ -1,14 +1,14 @@
 // Quickstart: build an IVFPQ index over a synthetic SIFT-like dataset, run
-// the same query batch through Faiss-CPU-style search and through UpANNS on
-// the simulated 7-DIMM UPMEM system, and compare recall, QPS and energy
-// efficiency.
+// the same query batch through the Faiss-CPU backend and through UpANNS on
+// the simulated 7-DIMM UPMEM system — both behind core::AnnsBackend — and
+// compare recall, QPS and energy efficiency.
 //
 //   ./examples/quickstart [n_points] [n_queries]
 #include <cstdio>
 #include <cstdlib>
 
 #include "baselines/cpu_cost_model.hpp"
-#include "baselines/cpu_ivfpq.hpp"
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "data/ground_truth.hpp"
 #include "data/query_workload.hpp"
@@ -44,32 +44,27 @@ int main(int argc, char** argv) {
   const auto history = ivf::filter_batch(index, hist_wl.queries, 8);
   const ivf::ClusterStats stats = ivf::collect_stats(index, history);
 
-  // 3. CPU baseline.
-  baselines::CpuIvfpqSearcher cpu(index);
-  baselines::SearchParams params;
-  params.nprobe = 8;  // ~6% of clusters, near the paper's probe fraction
-  params.k = 10;
-  const auto cpu_res = cpu.search(wl.queries, params);
-
-  // 4. UpANNS on the simulated PIM system (64 DPUs for a quick run).
+  // 3. Both systems behind the common backend interface (64 DPUs for a
+  //    quick run; nprobe 8 is ~6% of clusters, near the paper's fraction).
   core::UpAnnsOptions opts = core::UpAnnsOptions::upanns();
   opts.n_dpus = 64;
-  opts.nprobe = params.nprobe;
-  opts.k = params.k;
-  core::UpAnnsEngine engine(index, stats, opts);
-  const auto pim_res = engine.search(wl.queries);
+  opts.nprobe = 8;
+  opts.k = 10;
+  auto cpu = core::make_backend(core::BackendKind::kCpuIvfpq, index, stats, opts);
+  auto pim = core::make_backend(core::BackendKind::kUpAnns, index, stats, opts);
+  const auto cpu_res = cpu->search(wl.queries);
+  const auto pim_res = pim->search(wl.queries);
 
-  // 5. Accuracy vs exact ground truth.
-  const auto gt = data::exact_topk(base, wl.queries, params.k);
-  const double recall_cpu = data::recall_at_k(gt, cpu_res.neighbors, params.k);
-  const double recall_pim = data::recall_at_k(gt, pim_res.neighbors, params.k);
+  // 4. Accuracy vs exact ground truth.
+  const auto gt = data::exact_topk(base, wl.queries, opts.k);
+  const double recall_cpu = cpu_res.recall_against(gt, opts.k);
+  const double recall_pim = pim_res.recall_against(gt, opts.k);
 
   std::printf("\n-- measured at demo scale (%zu points) --\n", n);
   std::printf("%-12s %10s %12s %10s\n", "system", "QPS", "QPS/W", "recall@10");
-  std::printf("%-12s %10.1f %12.3f %10.3f\n", "Faiss-CPU", cpu_res.qps(),
-              pim::qps_per_watt(cpu_res.qps(), pim::Platform::kCpu),
-              recall_cpu);
-  std::printf("%-12s %10.1f %12.3f %10.3f\n", "UpANNS", pim_res.qps,
+  std::printf("%-12s %10.1f %12.3f %10.3f\n", cpu->name(), cpu_res.qps,
+              cpu_res.qps_per_watt, recall_cpu);
+  std::printf("%-12s %10.1f %12.3f %10.3f\n", pim->name(), pim_res.qps,
               pim_res.qps_per_watt, recall_pim);
 
   // At demo scale the whole index fits the CPU's caches, so the CPU wins;
@@ -79,16 +74,15 @@ int main(int argc, char** argv) {
       (1e9 / 4096.0) /
       (static_cast<double>(n) / static_cast<double>(index.n_clusters()));
   const auto cpu_1b = baselines::CpuCostModel::stage_times([&] {
-    auto p = cpu_res.profile;
+    auto p = cpu_res.cpu->profile;
     p.total_candidates = static_cast<std::size_t>(
         static_cast<double>(p.total_candidates) * per_list_factor);
     p.dataset_n = 1'000'000'000;
     p.n_clusters = 4096;
     return p;
   }());
-  auto pim_1b = pim_res;
-  pim_1b.n_dpus = 896;  // 7 DIMMs
-  pim_1b = pim_1b.at_scale(per_list_factor, opts.n_dpus / 896.0);
+  // dpu_factor = 64 simulated DPUs / 896 target DPUs (7 DIMMs).
+  const auto pim_1b = pim_res.at_scale(per_list_factor, opts.n_dpus / 896.0);
   const double cpu_1b_qps = static_cast<double>(nq) / cpu_1b.total();
 
   std::printf("\n-- extrapolated to 1B points (7 UPMEM DIMMs vs Table-1 CPU) --\n");
@@ -99,9 +93,9 @@ int main(int argc, char** argv) {
   std::printf("\nUpANNS speedup over CPU at 1B scale: %.2fx\n",
               pim_1b.qps / cpu_1b_qps);
   std::printf("CAE length reduction: %.1f%%, top-k comparisons pruned: %llu\n",
-              pim_res.length_reduction * 100.0,
-              static_cast<unsigned long long>(pim_res.merge_pruned));
+              pim_res.pim->length_reduction * 100.0,
+              static_cast<unsigned long long>(pim_res.pim->merge_pruned));
   std::printf("DPU workload balance (max/mean): %.3f\n",
-              pim_res.schedule_balance);
+              pim_res.pim->schedule_balance);
   return 0;
 }

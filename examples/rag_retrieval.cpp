@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "data/ground_truth.hpp"
 #include "data/query_workload.hpp"
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
   opts.k = 5;
 
   // Build against the *initial* topic distribution.
-  core::UpAnnsEngine engine(index, stats_from(index, corpus, 0, nprobe), opts);
+  core::UpAnnsBackend backend(index, stats_from(index, corpus, 0, nprobe),
+                              opts);
 
   // QPS is extrapolated to a 1B-point corpus on 7 DIMMs so the balance
   // effects show at the scale the paper measures (see DESIGN.md).
@@ -68,11 +70,10 @@ int main(int argc, char** argv) {
     spec.seed = 7 + shift;
     spec.popularity_shift = shift;
     const auto wl = data::generate_workload(corpus, spec);
-    auto r = engine.search(wl.queries);
-    r.n_dpus = 896;
-    r = r.at_scale(per_list_factor, dpu_factor);
+    const auto r =
+        backend.search(wl.queries).at_scale(per_list_factor, dpu_factor);
     std::printf("%-28s %12.1f %14.2f %10.3f\n", phase, r.qps,
-                r.schedule_balance,
+                r.pim->schedule_balance,
                 r.times.total() / static_cast<double>(wl.queries.n) * 1e3);
     return r;
   };
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
   serve("drifted, stale placement", 40);
 
   // Adaptive relocation (Sec 4.1.2): rebuild replicas for the new profile.
-  engine.relocate(stats_from(index, corpus, 40, nprobe));
+  backend.engine().relocate(stats_from(index, corpus, 40, nprobe));
   const auto after = serve("drifted, after relocate", 40);
 
   // Sanity: quality unaffected by relocation.
@@ -94,10 +95,10 @@ int main(int argc, char** argv) {
   spec.popularity_shift = 40;
   const auto wl = data::generate_workload(corpus, spec);
   const auto gt = data::exact_topk(corpus, wl.queries, 5);
-  const auto r = engine.search(wl.queries);
+  const auto r = backend.search(wl.queries);
   std::printf("\nrecall@5 after relocation: %.3f (top-%zu contexts per "
               "prompt)\n",
-              data::recall_at_k(gt, r.neighbors, 5), opts.k);
+              r.recall_against(gt, 5), opts.k);
   std::printf("retrieved context ids for prompt 0:");
   for (const auto& nb : r.neighbors[0]) std::printf(" %u", nb.id);
   std::printf("\n");

@@ -11,7 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/cpu_ivfpq.hpp"
+#include "baselines/cpu_cost_model.hpp"
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
@@ -44,8 +45,8 @@ int main(int argc, char** argv) {
   opts.n_dpus = 128;
   opts.nprobe = nprobe;
   opts.k = k;
-  core::UpAnnsEngine engine(index, stats, opts);
-  baselines::CpuIvfpqSearcher cpu(index);
+  auto pim = core::make_backend(core::BackendKind::kUpAnns, index, stats, opts);
+  auto cpu = core::make_backend(core::BackendKind::kCpuIvfpq, index, stats, opts);
 
   // Catalogue-scale extrapolation: a production catalogue has ~1B items; at
   // demo scale the CPU scans from cache, which is not the regime the paper
@@ -63,15 +64,12 @@ int main(int argc, char** argv) {
     spec.seed = 10 + batch;
     const auto wl = data::generate_workload(items, spec);
 
-    baselines::SearchParams params;
-    params.nprobe = nprobe;
-    params.k = k;
-    const auto cpu_res = cpu.search(wl.queries, params);
-    auto pim_res = engine.search(wl.queries);
-    pim_res.n_dpus = 896;
-    pim_res = pim_res.at_scale(per_list_factor, opts.n_dpus / 896.0);
+    const auto cpu_res = cpu->search(wl.queries);
+    // dpu_factor = 128/896 implies the 896-DPU target for power accounting.
+    const auto pim_res =
+        pim->search(wl.queries).at_scale(per_list_factor, opts.n_dpus / 896.0);
 
-    auto cpu_profile = cpu_res.profile;
+    auto cpu_profile = cpu_res.cpu->profile;
     cpu_profile.total_candidates = static_cast<std::size_t>(
         static_cast<double>(cpu_profile.total_candidates) * per_list_factor);
     cpu_profile.dataset_n = 1'000'000'000;
@@ -93,7 +91,7 @@ int main(int argc, char** argv) {
   one.n_queries = 1;
   one.seed = 99;
   const auto wl = data::generate_workload(items, one);
-  const auto r = engine.search(wl.queries);
+  const auto r = pim->search(wl.queries);
   std::printf("\nslate for user 0 (item id : distance):\n");
   for (const auto& nb : r.neighbors[0]) {
     std::printf("  %8u : %.1f\n", nb.id, nb.dist);

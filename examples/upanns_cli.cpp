@@ -4,8 +4,14 @@
 //   upanns_cli gen    --family sift --n 50000 --out base.fvecs
 //   upanns_cli build  --data base.fvecs --clusters 128 --m 16 --out index.bin
 //   upanns_cli tune   --index index.bin --data base.fvecs --recall 0.8
-//   upanns_cli search --index index.bin --data base.fvecs --nprobe 16 \
-//                     --queries 64 --k 10 --dpus 128
+//   upanns_cli search --index index.bin --data base.fvecs --nprobe 16
+//                     --queries 64 --k 10 --dpus 128 --system upanns
+//   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
+//                     --batch 64 [--no-overlap]
+//
+// `search` drives any backend (cpu, gpu, upanns, naive) through the common
+// core::AnnsBackend interface; `serve` streams query batches through the
+// double-buffered core::BatchPipeline.
 //
 // `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
 // substituted for the synthetic data at any step.
@@ -15,7 +21,9 @@
 #include <map>
 #include <string>
 
+#include "core/backend.hpp"
 #include "core/engine.hpp"
+#include "core/pipeline.hpp"
 #include "core/tuner.hpp"
 #include "data/ground_truth.hpp"
 #include "data/io.hpp"
@@ -32,12 +40,21 @@ struct Args {
 
   static Args parse(int argc, char** argv, int from) {
     Args a;
-    for (int i = from; i + 1 < argc; i += 2) {
+    for (int i = from; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) break;
-      a.kv[argv[i] + 2] = argv[i + 1];
+      // Bare flags (e.g. --no-overlap) read as "1".
+      std::string key(argv[i] + 2);
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        a.kv.insert_or_assign(std::move(key), std::string("1"));
+        i += 1;
+      } else {
+        a.kv.insert_or_assign(std::move(key), std::string(argv[i + 1]));
+        i += 2;
+      }
     }
     return a;
   }
+  bool flag(const std::string& key) const { return kv.count(key) > 0; }
   std::string str(const std::string& key, const std::string& dflt) const {
     const auto it = kv.find(key);
     return it == kv.end() ? dflt : it->second;
@@ -136,31 +153,94 @@ int cmd_search(const Args& a) {
   opts.n_tasklets = static_cast<unsigned>(a.num("tasklets", 11));
   opts.nprobe = nprobe;
   opts.k = a.num("k", 10);
-  core::UpAnnsEngine engine(index, stats, opts);
-  const auto r = engine.search(wl.queries);
+
+  const std::string system = a.str("system", "upanns");
+  const auto kind = core::backend_kind_of(system);
+  if (!kind) {
+    std::fprintf(stderr, "unknown --system %s (cpu|gpu|upanns|naive)\n",
+                 system.c_str());
+    return 1;
+  }
+  auto backend = core::make_backend(*kind, index, stats, opts);
+  const auto r = backend->search(wl.queries);
 
   const auto gt = data::exact_topk(ds, wl.queries, opts.k);
   const auto shares = metrics::shares(r.times);
-  std::printf("queries=%zu dpus=%zu tasklets=%u nprobe=%zu k=%zu\n",
-              wl.queries.n, opts.n_dpus, opts.n_tasklets, nprobe, opts.k);
+  std::printf("system=%s queries=%zu dpus=%zu tasklets=%u nprobe=%zu k=%zu\n",
+              backend->name(), wl.queries.n, opts.n_dpus, opts.n_tasklets,
+              nprobe, opts.k);
   std::printf("simulated QPS=%.1f QPS/W=%.2f recall@%zu=%.3f\n", r.qps,
-              r.qps_per_watt, opts.k,
-              data::recall_at_k(gt, r.neighbors, opts.k));
+              r.qps_per_watt, opts.k, r.recall_against(gt, opts.k));
   std::printf("stages: LUT %.1f%%, distance %.1f%%, topk %.1f%%, "
-              "transfer %.1f%%; balance %.2f; CAE reduction %.1f%%\n",
+              "transfer %.1f%%\n",
               shares.lut_build, shares.distance_calc, shares.topk,
-              shares.transfer, r.schedule_balance,
-              r.length_reduction * 100.0);
+              shares.transfer);
+  if (r.pim.has_value()) {
+    std::printf("balance %.2f; CAE reduction %.1f%%\n",
+                r.pim->schedule_balance, r.pim->length_reduction * 100.0);
+    std::printf("stage trace:");
+    for (const auto& step : r.trace) {
+      std::printf(" %s=%.3fms", step.name, step.seconds * 1e3);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& a) {
+  const ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
+  const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
+  data::WorkloadSpec wspec;
+  wspec.n_queries = a.num("queries", 512);
+  wspec.seed = a.num("seed", 5);
+  const auto wl = data::generate_workload(ds, wspec);
+
+  const std::size_t nprobe = a.num("nprobe", 16);
+  data::WorkloadSpec hist = wspec;
+  hist.seed = wspec.seed + 1;
+  const auto hw_wl = data::generate_workload(ds, hist);
+  const auto stats = ivf::collect_stats(
+      index, ivf::filter_batch(index, hw_wl.queries, nprobe));
+
+  core::UpAnnsOptions opts = core::UpAnnsOptions::upanns();
+  opts.n_dpus = a.num("dpus", 128);
+  opts.nprobe = nprobe;
+  opts.k = a.num("k", 10);
+  core::UpAnnsBackend backend(index, stats, opts);
+
+  const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
+  core::BatchPipelineOptions popts;
+  popts.overlap = !a.flag("no-overlap");
+  core::BatchPipeline pipeline(backend.engine(), popts);
+  const auto run = pipeline.run(batches);
+
+  std::printf("served %zu queries in %zu batches (%s)\n", run.n_queries,
+              run.slots.size(), run.overlapped ? "overlapped" : "no-overlap");
+  std::printf("simulated elapsed %.3f ms (serial stage sum %.3f ms), "
+              "QPS=%.1f\n",
+              run.elapsed_seconds * 1e3, run.serial_seconds * 1e3, run.qps);
+  for (std::size_t i = 0; i < run.slots.size(); ++i) {
+    std::printf("  batch %2zu: host %.4f ms, device %.4f ms\n", i,
+                run.slots[i].host_seconds * 1e3,
+                run.slots[i].device_seconds * 1e3);
+    if (i >= 3 && run.slots.size() > 5) {
+      std::printf("  ... (%zu more batches)\n", run.slots.size() - i - 1);
+      break;
+    }
+  }
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: upanns_cli <gen|build|tune|search> [--key value ...]\n"
+               "usage: upanns_cli <gen|build|tune|search|serve> [--key value ...]\n"
                "  gen    --family sift|deep|spacev --n N --out F.fvecs\n"
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
                "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
-               "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n");
+               "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n"
+               "         --system cpu|gpu|upanns|naive\n"
+               "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
+               "         [--no-overlap]\n");
   return 1;
 }
 
@@ -175,6 +255,7 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "search") return cmd_search(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

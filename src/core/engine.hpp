@@ -1,14 +1,17 @@
 // UpAnnsEngine — the end-to-end system (paper Fig 5).
 //
-// Offline (build): collect cluster stats from a query history, encode every
-// cluster (Opt3), place replicas across DPUs (Opt1), and load MRAM images
-// (codebooks, centroids, id arrays, token streams, combo tables).
+// Offline (build, engine_build.cpp): collect cluster stats from a query
+// history, encode every cluster (Opt3), place replicas across DPUs (Opt1),
+// and load MRAM images (codebooks, centroids, id arrays, token streams,
+// combo tables).
 //
-// Online (search): host-side cluster filtering and greedy scheduling (Opt1),
-// uniform-size transfers to MRAM, one kernel launch over all DPUs (Opt2/4),
-// gather + final host merge. All timing is simulated (see DESIGN.md): the
-// report contains the four-stage breakdown, per-DPU busy times, balance
-// ratio, energy metrics and CAE statistics.
+// Online (search, pipeline.cpp): the query path is a sequence of named stage
+// objects — cluster filter, Alg-2 scheduling, uniform-size transfer, kernel
+// launch, gather, host merge — run by core::QueryPipeline. All timing is
+// simulated (see DESIGN.md): the report contains the four-stage breakdown,
+// a per-stage trace, per-DPU busy times, balance ratio, energy metrics and
+// CAE statistics. `core::BatchPipeline` streams multiple batches through the
+// stages with host/device double-buffering.
 //
 // Every optimization can be toggled independently, which is how the ablation
 // benches (Figs 11, 13-17) are driven; `UpAnnsOptions::pim_naive()` yields
@@ -23,6 +26,7 @@
 
 #include "baselines/stage_times.hpp"
 #include "common/topk.hpp"
+#include "core/backend.hpp"
 #include "core/cae.hpp"
 #include "core/dpu_kernel.hpp"
 #include "core/placement.hpp"
@@ -33,6 +37,8 @@
 #include "pim/energy.hpp"
 
 namespace upanns::core {
+
+class QueryPipeline;
 
 struct UpAnnsOptions {
   std::size_t n_dpus = 896;          ///< 7 DIMMs (Table 1)
@@ -67,76 +73,6 @@ struct UpAnnsOptions {
   }
 };
 
-struct PimSearchReport {
-  std::vector<std::vector<common::Neighbor>> neighbors;
-  baselines::StageTimes times;
-  double qps = 0;
-  double qps_per_watt = 0;
-
-  /// Per-DPU stage seconds (only active DPUs are non-zero) — the substrate
-  /// for at-scale extrapolation and the breakdown figures.
-  struct DpuStageSeconds {
-    double lut = 0, dist = 0, topk = 0;
-    double total() const { return lut + dist + topk; }
-  };
-  std::vector<DpuStageSeconds> dpu_stage_seconds;
-
-  /// Per-DPU busy seconds for this batch and the Fig 11 balance metric.
-  std::vector<double> dpu_busy_seconds;
-  double balance_ratio = 0;          ///< max/mean of per-DPU busy time
-  /// max/mean of *scheduled scanned vectors* per DPU — the paper's Fig 11
-  /// "maximum process / average process" metric (scale-free).
-  double schedule_balance = 0;
-
-  std::size_t bytes_pushed = 0;
-  std::size_t bytes_gathered = 0;
-  bool push_parallel = true;
-
-  // Opt3/Opt4 visibility.
-  double length_reduction = 0;       ///< scanned-stream reduction (Fig 14)
-  std::uint64_t merge_insertions = 0;
-  std::uint64_t merge_pruned = 0;    ///< comparisons skipped (Fig 15)
-  std::uint64_t scanned_records = 0;
-  std::uint64_t total_instructions = 0;  ///< across all DPUs, this batch
-  std::uint64_t total_dma_cycles = 0;
-  std::size_t n_dpus = 0;
-
-  double total_seconds() const { return times.total(); }
-
-  /// Linear-work extrapolation (see DESIGN.md): the distance stage scales
-  /// with per-list work (`data_factor`) and with how many DPUs share the
-  /// batch; LUT construction and top-k merging are per-assignment costs, so
-  /// they scale with the per-DPU assignment count (`dpu_factor` =
-  /// dpus_actual / dpus_target). Transfers and host stages are reported as
-  /// measured.
-  PimSearchReport at_scale(double data_factor, double dpu_factor = 1.0) const {
-    PimSearchReport r = *this;
-    // Scale every DPU's stages, then let the slowest *scaled* DPU set the
-    // launch-critical path (balance is preserved through the max).
-    double best = -1.0;
-    DpuStageSeconds crit;
-    for (DpuStageSeconds s : dpu_stage_seconds) {
-      s.lut *= dpu_factor;
-      s.dist *= data_factor * dpu_factor;
-      s.topk *= dpu_factor;
-      if (s.total() > best) {
-        best = s.total();
-        crit = s;
-      }
-    }
-    if (best >= 0) {
-      r.times.lut_build = crit.lut;
-      r.times.distance_calc = crit.dist;
-      r.times.topk = crit.topk;
-    }
-    const double total = r.times.total();
-    r.qps = total > 0 ? static_cast<double>(neighbors.size()) / total : 0;
-    r.qps_per_watt =
-        pim::qps_per_watt(r.qps, pim::Platform::kPim, n_dpus);
-    return r;
-  }
-};
-
 class UpAnnsEngine {
  public:
   /// Build the PIM-resident index. `stats` supplies s_i / f_i for placement.
@@ -144,15 +80,25 @@ class UpAnnsEngine {
                UpAnnsOptions options);
 
   /// Search one batch.
-  PimSearchReport search(const data::Dataset& queries);
+  SearchReport search(const data::Dataset& queries);
 
   /// Search with externally computed probe lists (shared with baselines).
-  PimSearchReport search_with_probes(
+  SearchReport search_with_probes(
       const data::Dataset& queries,
       const std::vector<std::vector<std::uint32_t>>& probes);
 
   const UpAnnsOptions& options() const { return options_; }
-  UpAnnsOptions& mutable_options() { return options_; }
+
+  // Runtime-tunable knobs. Only knobs that leave the loaded MRAM images
+  // valid are settable; topology (n_dpus, n_tasklets, placement options)
+  // is fixed at build — change it by constructing a new engine, and adapt
+  // to workload drift via relocate(). (This replaced a mutable_options()
+  // accessor that silently desynced MRAM images when topology fields were
+  // written after build.)
+  void set_k(std::size_t k);
+  void set_nprobe(std::size_t nprobe);
+  void set_mram_read_vectors(std::size_t vectors);
+
   const Placement& placement() const { return placement_; }
   const ivf::IvfIndex& index() const { return index_; }
   pim::PimSystem& system() { return *system_; }
@@ -165,14 +111,18 @@ class UpAnnsEngine {
   /// Algorithm 1 pass + MRAM reload, without retraining the index).
   void relocate(const ivf::ClusterStats& stats);
 
- private:
-  void load_dpus(const ivf::ClusterStats& stats);
-
+  /// Per-DPU MRAM image state. Internal to the engine + pipeline; public
+  /// only as a type so QueryPipeline can name it.
   struct PerDpu {
     DpuStaticLayout layout;
     std::size_t static_mark = 0;
     std::vector<std::int32_t> cluster_slot;  ///< cluster id -> slot (-1 none)
   };
+
+ private:
+  friend class QueryPipeline;  ///< online path reads layouts, rewinds MRAM
+
+  void load_dpus(const ivf::ClusterStats& stats);
 
   const ivf::IvfIndex& index_;
   UpAnnsOptions options_;

@@ -1,0 +1,208 @@
+// Offline half of UpAnnsEngine: codebook quantization, cluster encoding
+// (Opt3), replica placement (Opt1) and MRAM image construction. The online
+// query path lives in core/pipeline.cpp.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+
+namespace upanns::core {
+
+UpAnnsEngine::UpAnnsEngine(const ivf::IvfIndex& index,
+                           const ivf::ClusterStats& stats,
+                           UpAnnsOptions options)
+    : index_(index), options_(std::move(options)) {
+  if (options_.n_dpus == 0) throw std::invalid_argument("n_dpus == 0");
+  options_.placement.n_dpus = options_.n_dpus;
+
+  mode_ = options_.naive_raw_codes
+              ? KernelMode::kNaiveRaw
+              : (options_.opt_cae ? KernelMode::kCae
+                                  : KernelMode::kDirectTokens);
+
+  // --- Quantize the PQ codebooks to int8 (the WRAM-resident form; paper
+  // Sec 4.2.1 budgets D x 256 bytes). One scale per subspace.
+  const auto& pq = index_.pq();
+  const std::size_t m = pq.m();
+  const std::size_t dsub = pq.dsub();
+  codebook_q_.resize(m * 256 * dsub);
+  codebook_scales_.resize(m);
+  const std::span<const float> cb = pq.codebooks();
+  for (std::size_t s = 0; s < m; ++s) {
+    float mx = 0.f;
+    for (std::size_t i = 0; i < 256 * dsub; ++i) {
+      mx = std::max(mx, std::abs(cb[s * 256 * dsub + i]));
+    }
+    const float scale = mx > 0.f ? mx / 127.f : 1.f;
+    codebook_scales_[s] = scale;
+    for (std::size_t i = 0; i < 256 * dsub; ++i) {
+      codebook_q_[s * 256 * dsub + i] = static_cast<std::int8_t>(
+          std::lround(cb[s * 256 * dsub + i] / scale));
+    }
+  }
+
+  // --- Encode every cluster once (replicas share the encoding).
+  encodings_.resize(index_.n_clusters());
+  double weighted_reduction = 0;
+  std::size_t total_records = 0;
+  common::ThreadPool::global().parallel_for(
+      0, index_.n_clusters(),
+      [&](std::size_t c) {
+        const ivf::InvertedList& list = index_.list(c);
+        switch (mode_) {
+          case KernelMode::kCae:
+            encodings_[c] = cae_encode_cluster(list, m, options_.cae);
+            break;
+          case KernelMode::kDirectTokens:
+            encodings_[c] = direct_encode_cluster(list, m);
+            break;
+          case KernelMode::kNaiveRaw:
+            // Raw mode streams the original codes; keep only bookkeeping.
+            encodings_[c] = CaeClusterEncoding{};
+            encodings_[c].m = m;
+            encodings_[c].n_records = list.size();
+            encodings_[c].total_tokens = list.size() * m;
+            break;
+        }
+      },
+      1);
+  for (std::size_t c = 0; c < index_.n_clusters(); ++c) {
+    weighted_reduction += encodings_[c].length_reduction() *
+                          static_cast<double>(encodings_[c].n_records);
+    total_records += encodings_[c].n_records;
+  }
+  build_length_reduction_ =
+      total_records > 0 ? weighted_reduction / static_cast<double>(total_records)
+                        : 0;
+
+  // --- Place and load.
+  placement_ = options_.opt_placement
+                   ? place_clusters(index_, stats, options_.placement)
+                   : place_random(index_, stats, options_.placement,
+                                  options_.seed);
+  load_dpus(stats);
+}
+
+void UpAnnsEngine::set_k(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("set_k: k == 0");
+  options_.k = k;
+}
+
+void UpAnnsEngine::set_nprobe(std::size_t nprobe) {
+  if (nprobe == 0) throw std::invalid_argument("set_nprobe: nprobe == 0");
+  options_.nprobe = nprobe;
+}
+
+void UpAnnsEngine::set_mram_read_vectors(std::size_t vectors) {
+  // 0 is valid: one maximal DMA per chunk (Fig 17 rightmost point).
+  options_.mram_read_vectors = vectors;
+}
+
+void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
+  placement_ = options_.opt_placement
+                   ? place_clusters(index_, stats, options_.placement)
+                   : place_random(index_, stats, options_.placement,
+                                  options_.seed);
+  load_dpus(stats);
+}
+
+void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
+  system_ = std::make_unique<pim::PimSystem>(options_.n_dpus);
+  per_dpu_.assign(options_.n_dpus, PerDpu{});
+
+  const std::size_t m = index_.pq_m();
+  const std::size_t dsub = index_.pq().dsub();
+  const std::size_t dim = index_.dim();
+
+  common::ThreadPool::global().parallel_for(
+      0, options_.n_dpus,
+      [&](std::size_t d) {
+        pim::Dpu& dpu = system_->dpu(d);
+        PerDpu& pd = per_dpu_[d];
+        pd.cluster_slot.assign(index_.n_clusters(), -1);
+        pd.layout.dim = dim;
+        pd.layout.m = m;
+        pd.layout.dsub = dsub;
+
+        pd.layout.codebook_off =
+            dpu.mram_alloc(codebook_q_.size(), "codebook");
+        dpu.host_write(pd.layout.codebook_off, codebook_q_.data(),
+                       codebook_q_.size());
+        pd.layout.cb_scale_off =
+            dpu.mram_alloc(codebook_scales_.size() * sizeof(float), "cb-scales");
+        dpu.host_write(pd.layout.cb_scale_off, codebook_scales_.data(),
+                       codebook_scales_.size() * sizeof(float));
+
+        for (std::uint32_t c : placement_.dpu_clusters[d]) {
+          const ivf::InvertedList& list = index_.list(c);
+          const CaeClusterEncoding& enc = encodings_[c];
+          DpuClusterData cd;
+          cd.cluster_id = c;
+          cd.n_records = static_cast<std::uint32_t>(list.size());
+
+          cd.ids_off = dpu.mram_alloc(list.ids.size() * sizeof(std::uint32_t),
+                                      "ids");
+          dpu.host_write(cd.ids_off, list.ids.data(),
+                         list.ids.size() * sizeof(std::uint32_t));
+
+          if (mode_ == KernelMode::kNaiveRaw) {
+            cd.stream_off = dpu.mram_alloc(list.codes.size(), "codes");
+            dpu.host_write(cd.stream_off, list.codes.data(),
+                           list.codes.size());
+            cd.stream_len = list.codes.size();
+          } else {
+            cd.stream_off = dpu.mram_alloc(
+                enc.tokens.size() * sizeof(std::uint16_t), "tokens");
+            dpu.host_write(cd.stream_off, enc.tokens.data(),
+                           enc.tokens.size() * sizeof(std::uint16_t));
+            cd.stream_len = enc.tokens.size();
+
+            // Chunk index: element offset of every kChunkRecords-th record.
+            std::vector<std::uint32_t> chunk_index;
+            std::size_t off = 0;
+            for (std::size_t r = 0; r < enc.n_records; ++r) {
+              if (r % kChunkRecords == 0) {
+                chunk_index.push_back(static_cast<std::uint32_t>(off));
+              }
+              off += 1 + enc.tokens[off];
+            }
+            cd.n_chunks = static_cast<std::uint32_t>(chunk_index.size());
+            if (!chunk_index.empty()) {
+              cd.chunk_index_off = dpu.mram_alloc(
+                  chunk_index.size() * sizeof(std::uint32_t), "chunk-index");
+              dpu.host_write(cd.chunk_index_off, chunk_index.data(),
+                             chunk_index.size() * sizeof(std::uint32_t));
+            }
+
+            if (!enc.combos.empty()) {
+              std::vector<std::uint8_t> packed(enc.combos.size() * 4);
+              for (std::size_t i = 0; i < enc.combos.size(); ++i) {
+                packed[4 * i + 0] = enc.combos[i].pos;
+                packed[4 * i + 1] = enc.combos[i].c0;
+                packed[4 * i + 2] = enc.combos[i].c1;
+                packed[4 * i + 3] = enc.combos[i].c2;
+              }
+              cd.combos_off = dpu.mram_alloc(packed.size(), "combos");
+              dpu.host_write(cd.combos_off, packed.data(), packed.size());
+              cd.n_combos = static_cast<std::uint32_t>(enc.combos.size());
+            }
+          }
+
+          cd.centroid_off = dpu.mram_alloc(dim * sizeof(float), "centroid");
+          dpu.host_write(cd.centroid_off, index_.centroid(c),
+                         dim * sizeof(float));
+
+          pd.cluster_slot[c] =
+              static_cast<std::int32_t>(pd.layout.clusters.size());
+          pd.layout.clusters.push_back(cd);
+        }
+        pd.static_mark = dpu.mram_mark();
+      },
+      1);
+}
+
+}  // namespace upanns::core

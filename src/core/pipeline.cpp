@@ -1,0 +1,368 @@
+// Online half of UpAnnsEngine (see pipeline.hpp). The stage bodies are the
+// former UpAnnsEngine::search_with_probes monolith, split so every step is
+// named and individually timed; the simulated-time arithmetic is unchanged.
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "baselines/cpu_cost_model.hpp"
+#include "common/hw_specs.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "pim/transfer.hpp"
+
+namespace upanns::core {
+
+// --- Host stage (a): cluster filtering, charged on the CPU roofline.
+double ClusterFilterStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const data::Dataset& queries = *ctx.queries;
+  if (ctx.probes == nullptr) {
+    ctx.owned_probes =
+        ivf::filter_batch(pl.index(), queries, pl.options().nprobe);
+    ctx.probes = &ctx.owned_probes;
+  }
+  baselines::QueryWorkProfile p;
+  p.n_queries = queries.n;
+  p.n_clusters = pl.index().n_clusters();
+  p.dim = pl.index().dim();
+  p.m = pl.index().pq_m();
+  p.k = pl.options().k;
+  const double seconds = baselines::CpuCostModel::stage_times(p).cluster_filter;
+  ctx.report.times.cluster_filter += seconds;
+  return seconds;
+}
+
+// --- Scheduling (Algorithm 2), also host-side; O(|Q| * nprobe).
+double ScheduleStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const std::vector<std::size_t> sizes = pl.index().list_sizes();
+  ctx.sched = pl.options().opt_scheduling
+                  ? schedule_queries(*ctx.probes, pl.placement(), sizes)
+                  : schedule_naive(*ctx.probes, pl.placement(), sizes);
+  const double seconds =
+      static_cast<double>(ctx.sched.total_assignments()) * 16.0 / hw::kCpuFlops;
+  ctx.report.times.cluster_filter += seconds;
+  return seconds;
+}
+
+// --- Per-DPU launch inputs (unique query tables + assignment lists), then
+// the push transfer: UpANNS pads per-DPU buffers to a uniform size so the
+// transfer runs concurrently (Sec 2.2); PIM-naive pays the serialized path.
+double PushStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const data::Dataset& queries = *ctx.queries;
+  const std::size_t nq = queries.n;
+  const std::size_t dim = pl.index().dim();
+  const std::size_t k = pl.options().k;
+  const std::size_t ndpu = pl.options().n_dpus;
+
+  ctx.inputs.assign(ndpu, DpuLaunchInput{});
+  ctx.push_bytes.assign(ndpu, 0);
+  const std::size_t read_bytes_cfg =
+      pl.options().mram_read_vectors == 0
+          ? 0
+          : pl.options().mram_read_vectors *
+                (pl.mode() == KernelMode::kNaiveRaw
+                     ? pl.index().pq_m()
+                     : (pl.index().pq_m() + 1) * sizeof(std::uint16_t));
+
+  common::ThreadPool::global().parallel_for(
+      0, ndpu,
+      [&](std::size_t d) {
+        const auto& assigns = ctx.sched.per_dpu[d];
+        if (assigns.empty()) return;
+        DpuLaunchInput& in = ctx.inputs[d];
+        in.k = k;
+        in.mram_read_bytes = read_bytes_cfg;
+
+        std::vector<std::int32_t> local_of(nq, -1);
+        std::vector<std::uint32_t> uniq;
+        for (const Assignment& a : assigns) {
+          if (local_of[a.query] < 0) {
+            local_of[a.query] = static_cast<std::int32_t>(uniq.size());
+            uniq.push_back(a.query);
+          }
+          in.items.push_back(
+              {static_cast<std::uint32_t>(local_of[a.query]),
+               static_cast<std::uint32_t>(
+                   pl.per_dpu(d).cluster_slot[a.cluster])});
+        }
+        in.n_queries = static_cast<std::uint32_t>(uniq.size());
+
+        // Scratch MRAM: query table + result slots (rewound every batch).
+        pim::Dpu& dpu = pl.system().dpu(d);
+        dpu.mram_rewind(pl.per_dpu(d).static_mark);
+        in.queries_off =
+            dpu.mram_alloc(uniq.size() * dim * sizeof(float), "batch-queries");
+        for (std::size_t i = 0; i < uniq.size(); ++i) {
+          dpu.host_write(in.queries_off + i * dim * sizeof(float),
+                         queries.row(uniq[i]), dim * sizeof(float));
+        }
+        in.results_off = dpu.mram_alloc(uniq.size() * k * 8, "batch-results");
+
+        ctx.push_bytes[d] =
+            uniq.size() * dim * sizeof(float) + in.items.size() * 4;
+      },
+      1);
+
+  std::size_t max_bytes = 0;
+  for (std::size_t b : ctx.push_bytes) max_bytes = std::max(max_bytes, b);
+  pim::TransferStats ts;
+  if (pl.options().opt_scheduling) {
+    ts = pim::TransferEngine::uniform(ndpu, max_bytes);
+  } else {
+    ts = pim::TransferEngine::batch(ctx.push_bytes);
+  }
+  ctx.report.times.transfer += ts.seconds;
+  ctx.report.pim->bytes_pushed = ts.bytes;
+  ctx.report.pim->push_parallel = ts.parallel;
+  return ts.seconds;
+}
+
+// --- Launch: one kernel over all DPUs; the slowest DPU sets the critical
+// path, plus the fixed host launch latency.
+double LaunchStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const std::size_t ndpu = pl.options().n_dpus;
+  PimExtras& px = *ctx.report.pim;
+
+  ctx.kernels.resize(ndpu);
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!ctx.inputs[d].items.empty()) {
+      ctx.kernels[d] = std::make_unique<QueryKernel>(
+          pl.per_dpu(d).layout, ctx.inputs[d], pl.mode(),
+          pl.options().opt_prune_topk);
+    }
+  }
+  ctx.launch = pl.system().launch(
+      [&](std::size_t d) -> pim::DpuKernel* { return ctx.kernels[d].get(); },
+      pl.options().n_tasklets);
+  px.dpu_busy_seconds = ctx.launch.dpu_seconds;
+  {
+    std::vector<double> busy;
+    for (double s : ctx.launch.dpu_seconds) {
+      if (s > 0) busy.push_back(s);
+    }
+    px.balance_ratio = common::max_over_mean(busy);
+  }
+  {
+    std::vector<double> loads;
+    for (std::size_t d = 0; d < ndpu; ++d) {
+      if (!ctx.sched.per_dpu[d].empty()) {
+        loads.push_back(ctx.sched.dpu_workload[d]);
+      }
+    }
+    px.schedule_balance = common::max_over_mean(loads);
+  }
+  ctx.report.times.transfer += hw::kHostLaunchLatency;
+
+  // Per-DPU stage attribution; the slowest DPU sets the launch-critical
+  // breakdown (at-scale extrapolation re-derives the max after scaling).
+  px.dpu_stage_seconds.assign(ndpu, PimExtras::DpuStageSeconds{});
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!ctx.kernels[d]) continue;
+    px.total_instructions += ctx.launch.dpu_stats[d].instructions;
+    px.total_dma_cycles += ctx.launch.dpu_stats[d].dma_cycles;
+    const KernelStageCycles stages =
+        ctx.kernels[d]->attribute_stages(ctx.launch.dpu_stats[d].phase_cycles);
+    px.dpu_stage_seconds[d] = {
+        pim::DpuCostModel::cycles_to_seconds(stages.lut_build),
+        pim::DpuCostModel::cycles_to_seconds(stages.distance),
+        pim::DpuCostModel::cycles_to_seconds(stages.topk)};
+  }
+  double crit_seconds = 0;
+  if (ctx.kernels[ctx.launch.slowest_dpu]) {
+    const auto& crit = px.dpu_stage_seconds[ctx.launch.slowest_dpu];
+    ctx.report.times.lut_build = crit.lut;
+    ctx.report.times.distance_calc = crit.dist;
+    ctx.report.times.topk = crit.topk;
+    crit_seconds = crit.total();
+  }
+  return crit_seconds + hw::kHostLaunchLatency;
+}
+
+// --- Gather: read each DPU's per-query top-k slots back to the host (a
+// second uniform-size transfer) and collect kernel-side statistics.
+double GatherStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const std::size_t nq = ctx.queries->n;
+  const std::size_t k = pl.options().k;
+  const std::size_t ndpu = pl.options().n_dpus;
+  PimExtras& px = *ctx.report.pim;
+
+  ctx.per_query_lists.assign(nq, {});
+  ctx.max_gather = 0;
+  for (std::size_t d = 0; d < ndpu; ++d) {
+    if (!ctx.kernels[d]) continue;
+    const DpuLaunchInput& in = ctx.inputs[d];
+    ctx.max_gather = std::max(
+        ctx.max_gather, static_cast<std::size_t>(in.n_queries) * k * 8);
+    std::vector<std::uint32_t> packed(2 * k);
+    // Recover the unique-query order used when building the input.
+    std::vector<std::int32_t> local_of(nq, -1);
+    std::vector<std::uint32_t> uniq;
+    for (const Assignment& a : ctx.sched.per_dpu[d]) {
+      if (local_of[a.query] < 0) {
+        local_of[a.query] = static_cast<std::int32_t>(uniq.size());
+        uniq.push_back(a.query);
+      }
+    }
+    for (std::size_t i = 0; i < uniq.size(); ++i) {
+      pl.system().dpu(d).host_read(in.results_off + i * k * 8, packed.data(),
+                                   k * 8);
+      std::vector<common::Neighbor> list;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint32_t bits = packed[2 * j];
+        const std::uint32_t id = packed[2 * j + 1];
+        if (bits == 0xFFFFFFFFu && id == 0xFFFFFFFFu) break;  // unused slot
+        float dist;
+        std::memcpy(&dist, &bits, sizeof(dist));
+        list.push_back({dist, id});
+      }
+      ctx.per_query_lists[uniq[i]].push_back(std::move(list));
+    }
+    px.merge_insertions += ctx.kernels[d]->merge_insertions();
+    px.merge_pruned += ctx.kernels[d]->merge_pruned();
+    px.scanned_records += ctx.kernels[d]->scanned_records();
+    if (ctx.kernels[d]->scanned_records() > 0) {
+      px.length_reduction +=
+          (1.0 - static_cast<double>(ctx.kernels[d]->scanned_elements()) /
+                     (static_cast<double>(ctx.kernels[d]->scanned_records()) *
+                      static_cast<double>(pl.index().pq_m()))) *
+          static_cast<double>(ctx.kernels[d]->scanned_records());
+    }
+  }
+  if (px.scanned_records > 0) {
+    px.length_reduction /= static_cast<double>(px.scanned_records);
+  }
+
+  const pim::TransferStats ts =
+      pim::TransferEngine::uniform(ndpu, ctx.max_gather);
+  ctx.report.times.transfer += ts.seconds;
+  px.bytes_gathered = ts.bytes;
+  return ts.seconds;
+}
+
+// --- Final host merge: ~(lists * k) heap ops per query. Charged to the
+// transfer/host bucket so the DPU top-k stage stays scale-attributable.
+double MergeStage::run(QueryPipeline& pl, BatchContext& ctx) {
+  const std::size_t nq = ctx.queries->n;
+  const std::size_t k = pl.options().k;
+
+  ctx.report.neighbors.resize(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    ctx.report.neighbors[q] =
+        common::merge_sorted_topk(ctx.per_query_lists[q], k);
+  }
+  double ops = 0;
+  for (const auto& lists : ctx.per_query_lists) {
+    ops += static_cast<double>(lists.size()) * static_cast<double>(k) * 8.0;
+  }
+  const double seconds = ops / hw::kCpuFlops;
+  ctx.report.times.transfer += seconds;
+  return seconds;
+}
+
+QueryPipeline::QueryPipeline(UpAnnsEngine& engine) : engine_(engine) {
+  stages_.push_back(std::make_unique<ClusterFilterStage>());
+  stages_.push_back(std::make_unique<ScheduleStage>());
+  stages_.push_back(std::make_unique<PushStage>());
+  stages_.push_back(std::make_unique<LaunchStage>());
+  stages_.push_back(std::make_unique<GatherStage>());
+  stages_.push_back(std::make_unique<MergeStage>());
+}
+
+SearchReport QueryPipeline::run(
+    const data::Dataset& queries,
+    const std::vector<std::vector<std::uint32_t>>* probes) {
+  BatchContext ctx;
+  ctx.queries = &queries;
+  ctx.probes = probes;
+  ctx.report.pim.emplace();
+
+  for (const auto& stage : stages_) {
+    const double seconds = stage->run(*this, ctx);
+    ctx.report.trace.push_back({stage->name(), seconds, stage->side()});
+  }
+
+  ctx.report.pim->n_dpus = options().n_dpus;
+  const double total = ctx.report.times.total();
+  ctx.report.qps =
+      total > 0 ? static_cast<double>(queries.n) / total : 0;
+  ctx.report.qps_per_watt = pim::qps_per_watt(
+      ctx.report.qps, pim::Platform::kPim, options().n_dpus);
+  return ctx.report;
+}
+
+SearchReport UpAnnsEngine::search(const data::Dataset& queries) {
+  return QueryPipeline(*this).run(queries, nullptr);
+}
+
+SearchReport UpAnnsEngine::search_with_probes(
+    const data::Dataset& queries,
+    const std::vector<std::vector<std::uint32_t>>& probes) {
+  return QueryPipeline(*this).run(queries, &probes);
+}
+
+BatchPipeline::BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts)
+    : engine_(engine), opts_(opts) {}
+
+BatchPipelineReport BatchPipeline::run(
+    const std::vector<data::Dataset>& batches) {
+  BatchPipelineReport out;
+  out.overlapped = opts_.overlap;
+
+  QueryPipeline pipeline(engine_);
+  for (const data::Dataset& batch : batches) {
+    BatchSlot slot;
+    slot.report = pipeline.run(batch, nullptr);
+
+    // Host prefix = the leading kHost trace entries (filter + schedule);
+    // the device phase is the exact remainder of the batch total, so
+    // host + device always reproduces times.total() bit-for-bit.
+    for (const StageStep& step : slot.report.trace) {
+      if (step.side != StageSide::kHost) break;
+      slot.host_seconds += step.seconds;
+    }
+    slot.device_seconds =
+        slot.report.times.total() - slot.host_seconds;
+
+    out.n_queries += batch.n;
+    out.serial_seconds += slot.report.times.total();
+    out.slots.push_back(std::move(slot));
+  }
+
+  if (!opts_.overlap || out.slots.empty()) {
+    out.elapsed_seconds = out.serial_seconds;
+  } else {
+    // Two-phase software pipeline: while batch i occupies the device, the
+    // host prepares batch i+1. elapsed = h_0 + sum max(d_i, h_{i+1}) + d_n.
+    out.elapsed_seconds = out.slots.front().host_seconds;
+    for (std::size_t i = 0; i + 1 < out.slots.size(); ++i) {
+      out.elapsed_seconds += std::max(out.slots[i].device_seconds,
+                                      out.slots[i + 1].host_seconds);
+    }
+    out.elapsed_seconds += out.slots.back().device_seconds;
+  }
+  out.qps = out.elapsed_seconds > 0
+                ? static_cast<double>(out.n_queries) / out.elapsed_seconds
+                : 0;
+  return out;
+}
+
+std::vector<data::Dataset> split_batches(const data::Dataset& queries,
+                                         std::size_t batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("batch_size == 0");
+  std::vector<data::Dataset> out;
+  for (std::size_t start = 0; start < queries.n; start += batch_size) {
+    const std::size_t n = std::min(batch_size, queries.n - start);
+    data::Dataset b;
+    b.dim = queries.dim;
+    b.n = n;
+    b.values.assign(queries.values.begin() + start * queries.dim,
+                    queries.values.begin() + (start + n) * queries.dim);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace upanns::core

@@ -1,0 +1,173 @@
+// The online query path, decomposed into named stage objects.
+//
+// QueryPipeline runs one batch through six individually timed stages:
+//
+//   cluster-filter  (host)    coarse filtering on the CPU roofline
+//   alg2-schedule   (host)    Algorithm 2 replica selection / balancing
+//   uniform-push    (device)  launch-input build + uniform-size MRAM push
+//   kernel-launch   (device)  DPU kernels, max-over-DPU critical path
+//   gather          (device)  per-DPU top-k result readback
+//   host-merge      (host)    final k-way merge on the host
+//
+// Each stage books its simulated seconds into exactly one bucket of
+// SearchReport::times and reports the same seconds in the SearchReport
+// trace, so the trace always sums to times.total().
+//
+// BatchPipeline streams a sequence of query batches through the stages with
+// double-buffering: the leading host stages (filter + schedule) of batch
+// i+1 overlap the device-bound remainder of batch i, the classic two-phase
+// software pipeline of the paper's Fig 5 host orchestration. Simulated
+// elapsed time is h_0 + sum_i max(d_i, h_{i+1}) + d_last; with overlap
+// disabled (--no-overlap in the CLI) it is exactly the serial sum of the
+// per-batch totals. Results are bit-identical either way — overlap changes
+// only the time accounting, never the execution order of a batch's stages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/dpu_kernel.hpp"
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "data/dataset.hpp"
+#include "pim/dpu.hpp"
+
+namespace upanns::core {
+
+/// Mutable state threaded through the stages of one batch.
+struct BatchContext {
+  const data::Dataset* queries = nullptr;
+  const std::vector<std::vector<std::uint32_t>>* probes = nullptr;
+  std::vector<std::vector<std::uint32_t>> owned_probes;  ///< when filtering here
+
+  Schedule sched;
+  std::vector<DpuLaunchInput> inputs;
+  std::vector<std::size_t> push_bytes;
+  std::vector<std::unique_ptr<QueryKernel>> kernels;
+  pim::PimSystem::LaunchStats launch;
+  std::vector<std::vector<std::vector<common::Neighbor>>> per_query_lists;
+  std::size_t max_gather = 0;
+
+  SearchReport report;
+};
+
+/// One named online stage. run() performs the stage, books its cost into
+/// ctx.report.times, and returns the simulated seconds it booked (the
+/// pipeline appends that to the report trace).
+class QueryStage {
+ public:
+  virtual ~QueryStage() = default;
+  virtual const char* name() const = 0;
+  virtual StageSide side() const = 0;
+  virtual double run(QueryPipeline& pl, BatchContext& ctx) = 0;
+};
+
+class ClusterFilterStage final : public QueryStage {
+ public:
+  const char* name() const override { return "cluster-filter"; }
+  StageSide side() const override { return StageSide::kHost; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+class ScheduleStage final : public QueryStage {
+ public:
+  const char* name() const override { return "alg2-schedule"; }
+  StageSide side() const override { return StageSide::kHost; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+class PushStage final : public QueryStage {
+ public:
+  const char* name() const override { return "uniform-push"; }
+  StageSide side() const override { return StageSide::kDevice; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+class LaunchStage final : public QueryStage {
+ public:
+  const char* name() const override { return "kernel-launch"; }
+  StageSide side() const override { return StageSide::kDevice; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+class GatherStage final : public QueryStage {
+ public:
+  const char* name() const override { return "gather"; }
+  StageSide side() const override { return StageSide::kDevice; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+class MergeStage final : public QueryStage {
+ public:
+  const char* name() const override { return "host-merge"; }
+  StageSide side() const override { return StageSide::kHost; }
+  double run(QueryPipeline& pl, BatchContext& ctx) override;
+};
+
+/// Runs one batch through the six stages. Engine internals funnel through
+/// the accessors below (the engine befriends only this class).
+class QueryPipeline {
+ public:
+  explicit QueryPipeline(UpAnnsEngine& engine);
+
+  /// probes == nullptr -> the filter stage computes them (options().nprobe).
+  SearchReport run(const data::Dataset& queries,
+                   const std::vector<std::vector<std::uint32_t>>* probes);
+
+  UpAnnsEngine& engine() { return engine_; }
+  const ivf::IvfIndex& index() const { return engine_.index_; }
+  const UpAnnsOptions& options() const { return engine_.options_; }
+  const Placement& placement() const { return engine_.placement_; }
+  pim::PimSystem& system() { return *engine_.system_; }
+  KernelMode mode() const { return engine_.mode_; }
+  UpAnnsEngine::PerDpu& per_dpu(std::size_t d) { return engine_.per_dpu_[d]; }
+
+ private:
+  UpAnnsEngine& engine_;
+  std::vector<std::unique_ptr<QueryStage>> stages_;
+};
+
+struct BatchPipelineOptions {
+  /// Overlap host stages of batch i+1 with device stages of batch i. False
+  /// reproduces the serial per-batch totals exactly (CLI --no-overlap).
+  bool overlap = true;
+};
+
+/// One scheduled batch in a pipeline run.
+struct BatchSlot {
+  double host_seconds = 0;    ///< leading host stages (filter + schedule)
+  double device_seconds = 0;  ///< everything after the host prefix
+  SearchReport report;
+};
+
+struct BatchPipelineReport {
+  std::vector<BatchSlot> slots;
+  double serial_seconds = 0;   ///< sum of per-batch totals (no-overlap time)
+  double elapsed_seconds = 0;  ///< simulated end-to-end time of this run
+  bool overlapped = true;
+  std::size_t n_queries = 0;
+  double qps = 0;              ///< n_queries / elapsed_seconds
+};
+
+/// Streams query batches through the engine with double-buffered time
+/// accounting (see file comment). Execution itself stays serial, so
+/// per-query neighbors are bit-identical with overlap on or off.
+class BatchPipeline {
+ public:
+  explicit BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts = {});
+
+  BatchPipelineReport run(const std::vector<data::Dataset>& batches);
+
+ private:
+  UpAnnsEngine& engine_;
+  BatchPipelineOptions opts_;
+};
+
+/// Split a query set into consecutive batches of `batch_size` (the last one
+/// may be short). Rows are copied; the input stays valid independently.
+std::vector<data::Dataset> split_batches(const data::Dataset& queries,
+                                         std::size_t batch_size);
+
+}  // namespace upanns::core

@@ -1,0 +1,188 @@
+// Backend-interface tests: factory coverage, unified report shape, and the
+// cross-backend parity guarantee (the paper's optimizations must not change
+// what is retrieved).
+#include "core/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.hpp"
+#include "data/ground_truth.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+
+namespace upanns::core {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(9000, 51));
+  ivf::IvfIndex index = build();
+  data::QueryWorkload wl;
+  ivf::ClusterStats stats;
+  std::vector<std::vector<std::uint32_t>> probes;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 48;
+    opts.pq_m = 16;
+    opts.coarse_iters = 6;
+    opts.pq_iters = 5;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  Fixture() {
+    data::WorkloadSpec spec;
+    spec.n_queries = 24;
+    spec.seed = 4;
+    wl = data::generate_workload(base, spec);
+    data::WorkloadSpec hist = spec;
+    hist.seed = 5;
+    hist.n_queries = 128;
+    const auto hw = data::generate_workload(base, hist);
+    stats = ivf::collect_stats(index, ivf::filter_batch(index, hw.queries, 8));
+    probes = ivf::filter_batch(index, wl.queries, 8);
+  }
+
+  UpAnnsOptions options() const {
+    UpAnnsOptions o = UpAnnsOptions::upanns();
+    o.n_dpus = 12;
+    o.nprobe = 8;
+    o.k = 10;
+    return o;
+  }
+
+  std::unique_ptr<AnnsBackend> make(BackendKind kind) const {
+    return make_backend(kind, index, stats, options());
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::set<std::uint32_t> ids_of(const std::vector<common::Neighbor>& v) {
+  std::set<std::uint32_t> ids;
+  for (const auto& n : v) ids.insert(n.id);
+  return ids;
+}
+
+TEST(Backend, FactoryCoversEveryKind) {
+  auto& f = fixture();
+  for (const BackendKind kind :
+       {BackendKind::kCpuIvfpq, BackendKind::kGpuIvfpq, BackendKind::kUpAnns,
+        BackendKind::kPimNaive}) {
+    auto backend = f.make(kind);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_STREQ(backend->name(), backend_name(kind));
+    const auto r = backend->search(f.wl.queries);
+    EXPECT_EQ(r.neighbors.size(), f.wl.queries.n);
+    EXPECT_GT(r.qps, 0.0);
+    EXPECT_GT(r.times.total(), 0.0);
+  }
+}
+
+TEST(Backend, KindParsing) {
+  EXPECT_EQ(backend_kind_of("cpu"), BackendKind::kCpuIvfpq);
+  EXPECT_EQ(backend_kind_of("gpu"), BackendKind::kGpuIvfpq);
+  EXPECT_EQ(backend_kind_of("upanns"), BackendKind::kUpAnns);
+  EXPECT_EQ(backend_kind_of("naive"), BackendKind::kPimNaive);
+  EXPECT_EQ(backend_kind_of("pim-naive"), BackendKind::kPimNaive);
+  EXPECT_FALSE(backend_kind_of("tpu").has_value());
+}
+
+TEST(Backend, ExtrasMatchBackend) {
+  auto& f = fixture();
+  const auto cpu = f.make(BackendKind::kCpuIvfpq)->search(f.wl.queries);
+  EXPECT_TRUE(cpu.cpu.has_value());
+  EXPECT_FALSE(cpu.pim.has_value());
+  EXPECT_FALSE(cpu.gpu.has_value());
+  EXPECT_EQ(cpu.cpu->profile.n_queries, f.wl.queries.n);
+
+  const auto gpu = f.make(BackendKind::kGpuIvfpq)->search(f.wl.queries);
+  EXPECT_TRUE(gpu.gpu.has_value());
+  EXPECT_FALSE(gpu.pim.has_value());
+  EXPECT_GT(gpu.gpu->capacity.index_bytes, 0.0);
+
+  const auto up = f.make(BackendKind::kUpAnns)->search(f.wl.queries);
+  ASSERT_TRUE(up.pim.has_value());
+  EXPECT_FALSE(up.cpu.has_value());
+  EXPECT_EQ(up.pim->n_dpus, 12u);
+  EXPECT_GT(up.pim->bytes_pushed, 0u);
+}
+
+TEST(Backend, PimTraceIsNamedAndSumsToTotal) {
+  auto& f = fixture();
+  const auto r = f.make(BackendKind::kUpAnns)->search(f.wl.queries);
+  ASSERT_EQ(r.trace.size(), 6u);
+  EXPECT_STREQ(r.trace[0].name, "cluster-filter");
+  EXPECT_STREQ(r.trace[1].name, "alg2-schedule");
+  EXPECT_STREQ(r.trace[2].name, "uniform-push");
+  EXPECT_STREQ(r.trace[3].name, "kernel-launch");
+  EXPECT_STREQ(r.trace[4].name, "gather");
+  EXPECT_STREQ(r.trace[5].name, "host-merge");
+  EXPECT_EQ(r.trace[0].side, StageSide::kHost);
+  EXPECT_EQ(r.trace[1].side, StageSide::kHost);
+  EXPECT_EQ(r.trace[3].side, StageSide::kDevice);
+  EXPECT_EQ(r.trace[5].side, StageSide::kHost);
+  double sum = 0;
+  for (const auto& step : r.trace) {
+    EXPECT_GE(step.seconds, 0.0) << step.name;
+    sum += step.seconds;
+  }
+  EXPECT_NEAR(sum, r.times.total(), 1e-12 * r.times.total());
+}
+
+TEST(Backend, PimBackendsReturnIdenticalIdSetsForSharedProbes) {
+  // Placement, scheduling, CAE and pruning are exact transformations over
+  // the same quantized distance pipeline: with shared probe lists, UpANNS
+  // and PIM-naive must retrieve identical neighbor id sets.
+  auto& f = fixture();
+  const auto up =
+      f.make(BackendKind::kUpAnns)->search_with_probes(f.wl.queries, f.probes);
+  const auto naive = f.make(BackendKind::kPimNaive)
+                         ->search_with_probes(f.wl.queries, f.probes);
+  ASSERT_EQ(up.neighbors.size(), naive.neighbors.size());
+  for (std::size_t q = 0; q < up.neighbors.size(); ++q) {
+    EXPECT_EQ(ids_of(up.neighbors[q]), ids_of(naive.neighbors[q]))
+        << "query " << q;
+  }
+}
+
+TEST(Backend, PimMatchesCpuFunctionalWithinQuantizationTolerance) {
+  // The CPU backend runs float ADC; the PIM path quantizes the codebook
+  // (int8) and LUT (u16). With shared probes, recall against exact ground
+  // truth must agree within a few points (paper: optimizations do not
+  // impact accuracy) and the retrieved sets must overlap heavily.
+  auto& f = fixture();
+  const auto cpu =
+      f.make(BackendKind::kCpuIvfpq)->search_with_probes(f.wl.queries, f.probes);
+  const auto up =
+      f.make(BackendKind::kUpAnns)->search_with_probes(f.wl.queries, f.probes);
+  const auto gt = data::exact_topk(f.base, f.wl.queries, 10);
+  EXPECT_NEAR(up.recall_against(gt, 10), cpu.recall_against(gt, 10), 0.05);
+  EXPECT_GT(up.recall_against(cpu.neighbors, 10), 0.8);
+}
+
+TEST(Backend, GpuReusesFunctionalNeighbors) {
+  auto& f = fixture();
+  const auto cpu =
+      f.make(BackendKind::kCpuIvfpq)->search_with_probes(f.wl.queries, f.probes);
+  const auto gpu =
+      f.make(BackendKind::kGpuIvfpq)->search_with_probes(f.wl.queries, f.probes);
+  for (std::size_t q = 0; q < cpu.neighbors.size(); ++q) {
+    EXPECT_EQ(cpu.neighbors[q], gpu.neighbors[q]);
+  }
+}
+
+TEST(Backend, RecallHookMatchesGroundTruthHelper) {
+  auto& f = fixture();
+  const auto r = f.make(BackendKind::kCpuIvfpq)->search(f.wl.queries);
+  const auto gt = data::exact_topk(f.base, f.wl.queries, 10);
+  EXPECT_DOUBLE_EQ(r.recall_against(gt, 10),
+                   data::recall_at_k(gt, r.neighbors, 10));
+}
+
+}  // namespace
+}  // namespace upanns::core

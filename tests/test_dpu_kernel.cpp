@@ -179,8 +179,8 @@ TEST(Kernel, MergeStatsConsistent) {
   const auto r = engine.search(f.wl.queries);
   // Insertions are bounded by tasklets x k x merges; pruned + inserted
   // cannot exceed the total local-heap contents.
-  EXPECT_GT(r.merge_insertions, 0u);
-  EXPECT_GT(r.scanned_records, 0u);
+  EXPECT_GT(r.pim->merge_insertions, 0u);
+  EXPECT_GT(r.pim->scanned_records, 0u);
 }
 
 }  // namespace

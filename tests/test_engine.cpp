@@ -113,9 +113,9 @@ TEST(Engine, PruningDoesNotChangeResults) {
     EXPECT_EQ(ra.neighbors[q], rb.neighbors[q]) << "query " << q;
   }
   // ...but it must actually skip comparisons (Fig 15's mechanism).
-  EXPECT_GT(ra.merge_pruned, 0u);
-  EXPECT_EQ(rb.merge_pruned, 0u);
-  EXPECT_LT(ra.merge_insertions, rb.merge_insertions);
+  EXPECT_GT(ra.pim->merge_pruned, 0u);
+  EXPECT_EQ(rb.pim->merge_pruned, 0u);
+  EXPECT_LT(ra.pim->merge_insertions, rb.pim->merge_insertions);
 }
 
 TEST(Engine, CaeDoesNotChangeResults) {
@@ -130,8 +130,8 @@ TEST(Engine, CaeDoesNotChangeResults) {
   for (std::size_t q = 0; q < ra.neighbors.size(); ++q) {
     EXPECT_EQ(ra.neighbors[q], rb.neighbors[q]);
   }
-  EXPECT_GT(ra.length_reduction, 0.0);
-  EXPECT_NEAR(rb.length_reduction, 0.0, 1e-9);
+  EXPECT_GT(ra.pim->length_reduction, 0.0);
+  EXPECT_NEAR(rb.pim->length_reduction, 0.0, 1e-9);
 }
 
 TEST(Engine, CaeReducesDistanceStageWork) {
@@ -154,8 +154,8 @@ TEST(Engine, PlacementImprovesBalance) {
   UpAnnsEngine b(f.index, f.stats, naive);
   const auto ra = a.search(f.wl.queries);
   const auto rb = b.search(f.wl.queries);
-  EXPECT_LT(ra.schedule_balance, rb.schedule_balance);
-  EXPECT_GE(ra.schedule_balance, 1.0 - 1e-9);
+  EXPECT_LT(ra.pim->schedule_balance, rb.pim->schedule_balance);
+  EXPECT_GE(ra.pim->schedule_balance, 1.0 - 1e-9);
 }
 
 TEST(Engine, ReportFieldsSane) {
@@ -169,12 +169,12 @@ TEST(Engine, ReportFieldsSane) {
   EXPECT_GT(r.times.distance_calc, 0.0);
   EXPECT_GT(r.times.topk, 0.0);
   EXPECT_GT(r.times.transfer, 0.0);
-  EXPECT_GT(r.bytes_pushed, 0u);
-  EXPECT_GT(r.bytes_gathered, 0u);
-  EXPECT_TRUE(r.push_parallel);
-  EXPECT_EQ(r.n_dpus, 12u);
-  EXPECT_EQ(r.dpu_stage_seconds.size(), 12u);
-  EXPECT_GT(r.scanned_records, 0u);
+  EXPECT_GT(r.pim->bytes_pushed, 0u);
+  EXPECT_GT(r.pim->bytes_gathered, 0u);
+  EXPECT_TRUE(r.pim->push_parallel);
+  EXPECT_EQ(r.pim->n_dpus, 12u);
+  EXPECT_EQ(r.pim->dpu_stage_seconds.size(), 12u);
+  EXPECT_GT(r.pim->scanned_records, 0u);
 }
 
 TEST(Engine, AtScaleScalesDistanceOnly) {
@@ -234,6 +234,43 @@ TEST(Engine, LargerMramReadsNotSlower) {
   // Fig 17: small DMA granularity pays the setup cost repeatedly.
   EXPECT_GT(a.search(f.wl.queries).times.distance_calc,
             b.search(f.wl.queries).times.distance_calc);
+}
+
+TEST(Engine, AtScaleUsesTargetDpuCountForPower) {
+  // Satellite fix: extrapolated QPS/W must be computed at the DPU count the
+  // extrapolation targets (dpu_factor = actual / target), not the measured
+  // one. 12 measured DPUs with dpu_factor = 12/896 -> an 896-DPU target.
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.small());
+  const auto r = engine.search(f.wl.queries);
+  const double dpu_factor = 12.0 / 896.0;
+  const auto s = r.at_scale(50.0, dpu_factor);
+  EXPECT_EQ(s.pim->n_dpus, 896u);
+  EXPECT_NEAR(s.qps_per_watt,
+              pim::qps_per_watt(s.qps, pim::Platform::kPim, 896), 1e-12);
+  // Unity dpu_factor keeps the measured count.
+  EXPECT_EQ(r.at_scale(50.0, 1.0).pim->n_dpus, 12u);
+}
+
+TEST(Engine, AtScaleRequiresPimExtras) {
+  SearchReport plain;
+  EXPECT_THROW(plain.at_scale(10.0), std::logic_error);
+}
+
+TEST(Engine, RuntimeSettersValidate) {
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.small());
+  EXPECT_THROW(engine.set_k(0), std::invalid_argument);
+  EXPECT_THROW(engine.set_nprobe(0), std::invalid_argument);
+  engine.set_k(5);
+  engine.set_nprobe(4);
+  engine.set_mram_read_vectors(0);  // 0 = one maximal DMA per chunk
+  EXPECT_EQ(engine.options().k, 5u);
+  EXPECT_EQ(engine.options().nprobe, 4u);
+  EXPECT_EQ(engine.options().mram_read_vectors, 0u);
+  const auto r = engine.search(f.wl.queries);
+  EXPECT_EQ(r.neighbors.size(), f.wl.queries.n);
+  for (const auto& nb : r.neighbors) EXPECT_LE(nb.size(), 5u);
 }
 
 TEST(Engine, ZeroDpusRejected) {

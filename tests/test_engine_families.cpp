@@ -63,10 +63,10 @@ TEST_P(FamilyEngineTest, EndToEndPipeline) {
       << data::family_name(family);
 
   // Every optimization did something.
-  EXPECT_GT(r.length_reduction, 0.0) << data::family_name(family);
-  EXPECT_GT(r.merge_insertions, 0u);
+  EXPECT_GT(r.pim->length_reduction, 0.0) << data::family_name(family);
+  EXPECT_GT(r.pim->merge_insertions, 0u);
   EXPECT_GT(r.times.distance_calc, 0.0);
-  EXPECT_GE(r.schedule_balance, 1.0 - 1e-9);
+  EXPECT_GE(r.pim->schedule_balance, 1.0 - 1e-9);
 }
 
 TEST_P(FamilyEngineTest, DirectTokenStreamRoundTripsViaEncoder) {

@@ -1,0 +1,174 @@
+// Pipeline tests: stage decomposition determinism (the refactored online
+// path reproduces the serial totals exactly) and batch double-buffering
+// accounting (overlap shortens simulated time without changing results).
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+
+namespace upanns::core {
+namespace {
+
+struct Fixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(9000, 51));
+  ivf::IvfIndex index = build();
+  data::QueryWorkload wl;
+  ivf::ClusterStats stats;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 48;
+    opts.pq_m = 16;
+    opts.coarse_iters = 6;
+    opts.pq_iters = 5;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  Fixture() {
+    data::WorkloadSpec spec;
+    spec.n_queries = 64;
+    spec.seed = 4;
+    wl = data::generate_workload(base, spec);
+    data::WorkloadSpec hist = spec;
+    hist.seed = 5;
+    hist.n_queries = 128;
+    const auto hw = data::generate_workload(base, hist);
+    stats = ivf::collect_stats(index, ivf::filter_batch(index, hw.queries, 8));
+  }
+
+  UpAnnsOptions options() const {
+    UpAnnsOptions o = UpAnnsOptions::upanns();
+    o.n_dpus = 12;
+    o.nprobe = 8;
+    o.k = 10;
+    return o;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(SplitBatches, CoversAllQueriesInOrder) {
+  auto& f = fixture();
+  const auto batches = split_batches(f.wl.queries, 24);
+  ASSERT_EQ(batches.size(), 3u);  // 24 + 24 + 16
+  EXPECT_EQ(batches[0].n, 24u);
+  EXPECT_EQ(batches[2].n, 16u);
+  std::size_t q = 0;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.dim, f.wl.queries.dim);
+    for (std::size_t i = 0; i < b.n; ++i, ++q) {
+      for (std::size_t d = 0; d < b.dim; ++d) {
+        ASSERT_EQ(b.row(i)[d], f.wl.queries.row(q)[d]);
+      }
+    }
+  }
+  EXPECT_EQ(q, f.wl.queries.n);
+  EXPECT_THROW(split_batches(f.wl.queries, 0), std::invalid_argument);
+}
+
+TEST(Pipeline, NoOverlapEqualsSerialStageSums) {
+  // The --no-overlap mode must reproduce exactly what running each batch
+  // through UpAnnsEngine::search serially reports.
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  const auto batches = split_batches(f.wl.queries, 16);
+  ASSERT_GE(batches.size(), 4u);
+
+  double serial_sum = 0;
+  for (const auto& b : batches) {
+    serial_sum += engine.search(b).times.total();
+  }
+
+  BatchPipeline pipeline(engine, {.overlap = false});
+  const auto run = pipeline.run(batches);
+  EXPECT_FALSE(run.overlapped);
+  EXPECT_DOUBLE_EQ(run.elapsed_seconds, serial_sum);
+  EXPECT_DOUBLE_EQ(run.serial_seconds, serial_sum);
+  EXPECT_EQ(run.n_queries, f.wl.queries.n);
+}
+
+TEST(Pipeline, SlotSplitReconstructsBatchTotal) {
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  const auto batches = split_batches(f.wl.queries, 16);
+  BatchPipeline pipeline(engine, {.overlap = true});
+  const auto run = pipeline.run(batches);
+  ASSERT_EQ(run.slots.size(), batches.size());
+  for (const auto& slot : run.slots) {
+    EXPECT_GT(slot.host_seconds, 0.0);
+    EXPECT_GT(slot.device_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(slot.host_seconds + slot.device_seconds,
+                     slot.report.times.total());
+  }
+}
+
+TEST(Pipeline, OverlapStrictlyFasterWithIdenticalResults) {
+  // Acceptance criterion: >= 4 batches, overlap strictly lowers end-to-end
+  // simulated time, per-query neighbors bit-identical in both modes.
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  const auto batches = split_batches(f.wl.queries, 16);
+  ASSERT_GE(batches.size(), 4u);
+
+  BatchPipeline serial(engine, {.overlap = false});
+  const auto off = serial.run(batches);
+  BatchPipeline overlapped(engine, {.overlap = true});
+  const auto on = overlapped.run(batches);
+
+  EXPECT_LT(on.elapsed_seconds, off.elapsed_seconds);
+  EXPECT_GT(on.qps, off.qps);
+  EXPECT_DOUBLE_EQ(on.serial_seconds, off.serial_seconds);
+
+  ASSERT_EQ(on.slots.size(), off.slots.size());
+  for (std::size_t i = 0; i < on.slots.size(); ++i) {
+    const auto& a = on.slots[i].report.neighbors;
+    const auto& b = off.slots[i].report.neighbors;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+      EXPECT_EQ(a[q], b[q]) << "batch " << i << " query " << q;
+    }
+  }
+}
+
+TEST(Pipeline, OverlapElapsedMatchesTwoPhaseFormula) {
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  const auto batches = split_batches(f.wl.queries, 16);
+  BatchPipeline pipeline(engine, {.overlap = true});
+  const auto run = pipeline.run(batches);
+
+  double expect = run.slots.front().host_seconds;
+  for (std::size_t i = 0; i + 1 < run.slots.size(); ++i) {
+    expect += std::max(run.slots[i].device_seconds,
+                       run.slots[i + 1].host_seconds);
+  }
+  expect += run.slots.back().device_seconds;
+  EXPECT_DOUBLE_EQ(run.elapsed_seconds, expect);
+  // The device stages dominate here, so nearly all host time hides.
+  EXPECT_LT(run.elapsed_seconds, run.serial_seconds);
+}
+
+TEST(Pipeline, QueryPipelineMatchesEngineSearch) {
+  // QueryPipeline::run is UpAnnsEngine::search; a fresh pipeline over the
+  // same engine state must reproduce the report exactly.
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  const auto via_engine = engine.search(f.wl.queries);
+  QueryPipeline pipeline(engine);
+  const auto direct = pipeline.run(f.wl.queries, nullptr);
+  EXPECT_EQ(via_engine.neighbors, direct.neighbors);
+  EXPECT_DOUBLE_EQ(via_engine.times.total(), direct.times.total());
+  ASSERT_EQ(via_engine.trace.size(), direct.trace.size());
+  for (std::size_t i = 0; i < direct.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_engine.trace[i].seconds, direct.trace[i].seconds);
+  }
+}
+
+}  // namespace
+}  // namespace upanns::core

@@ -166,7 +166,9 @@ TEST_P(ZipfExponentTest, CdfMonotone) {
   for (std::size_t r = 0; r < z.size(); ++r) {
     const double p = z.pmf(r);
     EXPECT_GE(p, 0.0);
-    if (r > 0) EXPECT_LE(p, prev + 1e-12);
+    if (r > 0) {
+      EXPECT_LE(p, prev + 1e-12);
+    }
     prev = p;
   }
 }
