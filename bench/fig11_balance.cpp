@@ -1,18 +1,25 @@
 // Figure 11: ratio of maximum to average per-DPU workload, PIM-naive vs
 // UpANNS, across nprobe and IVF settings. Expected shape: PIM-naive ratio
 // well above 1 (worst at small nprobe/IVF); UpANNS close to 1 everywhere.
+//
+// Besides the stdout table, the same rows are written as JSON (default
+// fig11_balance.json, override with argv[1]; "-" disables). Each row's
+// `detail` carries the full PimExtras of both systems — balance_ratio,
+// schedule_balance, per-DPU busy and stage seconds — at full precision.
 #include "bench_common.hpp"
+#include "obs/report_json.hpp"
 
 using namespace upanns;
 using namespace upanns::bench;
 
-int main() {
+int main(int argc, char** argv) {
   metrics::banner("Figure 11",
                   "max/avg DPU workload: PIM-naive vs UpANNS placement");
+  metrics::FigureSink sink(
+      "fig11_balance",
+      {"dataset", "IVF", "nprobe", "naive_ratio", "upanns_ratio"});
   for (const auto family : {data::DatasetFamily::kSiftLike,
                             data::DatasetFamily::kSpacevLike}) {
-    metrics::Table table(
-        {"dataset", "IVF", "nprobe", "naive_ratio", "upanns_ratio"});
     for (const std::size_t ivf : {std::size_t{4096}, std::size_t{16384}}) {
       Config cfg;
       cfg.family = family;
@@ -30,15 +37,22 @@ int main() {
             2, nprobe * cfg.scaled_ivf / ivf);
         const core::SearchReport up = run_upanns(cfg);
         const core::SearchReport naive = run_pim_naive(cfg);
-        table.add_row({data::family_name(family), std::to_string(ivf),
-                       std::to_string(nprobe),
-                       metrics::Table::fmt(naive.pim->schedule_balance, 2),
-                       metrics::Table::fmt(up.pim->schedule_balance, 2)});
+        obs::JsonWriter detail;
+        detail.begin_object();
+        detail.key("naive").raw(obs::pim_extras_json(*naive.pim));
+        detail.key("upanns").raw(obs::pim_extras_json(*up.pim));
+        detail.end_object();
+        sink.add_row({data::family_name(family), std::to_string(ivf),
+                      std::to_string(nprobe),
+                      metrics::Table::fmt(naive.pim->schedule_balance, 2),
+                      metrics::Table::fmt(up.pim->schedule_balance, 2)},
+                     detail.take());
       }
     }
-    table.print();
     clear_context_cache();
   }
+  const std::string json_path = argc > 1 ? argv[1] : "fig11_balance.json";
+  sink.finish(json_path == "-" ? "" : json_path);
   std::printf("\nPaper shape: naive >> 1 (worst at small nprobe); UpANNS ~1 "
               "in all settings.\n");
   return 0;

@@ -3,30 +3,46 @@
 // CPU ~99.5% distance calculation; GPU dominated by top-k (>76%, growing
 // with k); UpANNS distance share 75-80% with top-k growing from ~9% to ~17%
 // as k rises.
+//
+// Besides the stdout table, the same rows are written as JSON (default
+// fig19_stage_breakdown.json, override with argv[1]; "-" disables). Each
+// row's `detail` carries the absolute stage seconds and — for UpANNS — the
+// full PimExtras (per-DPU stage seconds, balance ratios) at full precision.
 #include "bench_common.hpp"
+#include "obs/report_json.hpp"
 
 using namespace upanns;
 using namespace upanns::bench;
 
 namespace {
 
-void add_row(metrics::Table& t, const char* dataset, const char* system,
-             std::size_t k, const baselines::StageTimes& times) {
-  const auto s = metrics::shares(times);
-  t.add_row({dataset, system, std::to_string(k),
-             metrics::Table::fmt(s.cluster_filter, 1),
-             metrics::Table::fmt(s.lut_build, 1),
-             metrics::Table::fmt(s.distance_calc, 1),
-             metrics::Table::fmt(s.topk, 1),
-             metrics::Table::fmt(s.transfer, 1)});
+void add_row(metrics::FigureSink& sink, const char* dataset,
+             const char* system, std::size_t k,
+             const core::SearchReport& report) {
+  const auto s = metrics::shares(report.times);
+  obs::JsonWriter detail;
+  detail.begin_object();
+  detail.key("times").raw(obs::stage_times_json(report.times));
+  if (report.pim) {
+    detail.key("pim").raw(obs::pim_extras_json(*report.pim));
+  }
+  detail.end_object();
+  sink.add_row({dataset, system, std::to_string(k),
+                metrics::Table::fmt(s.cluster_filter, 1),
+                metrics::Table::fmt(s.lut_build, 1),
+                metrics::Table::fmt(s.distance_calc, 1),
+                metrics::Table::fmt(s.topk, 1),
+                metrics::Table::fmt(s.transfer, 1)},
+               detail.take());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   metrics::banner("Figure 19", "Stage breakdown (% of query time)");
-  metrics::Table table({"dataset", "system", "k", "filter%", "LUT%",
-                        "distance%", "topk%", "transfer%"});
+  metrics::FigureSink sink("fig19_stage_breakdown",
+                           {"dataset", "system", "k", "filter%", "LUT%",
+                            "distance%", "topk%", "transfer%"});
   for (const auto family : {data::DatasetFamily::kDeepLike,
                             data::DatasetFamily::kSiftLike,
                             data::DatasetFamily::kSpacevLike}) {
@@ -40,16 +56,15 @@ int main() {
     cfg.nprobe = 64;
     for (const std::size_t k : {std::size_t{10}, std::size_t{100}}) {
       cfg.k = k;
-      add_row(table, data::family_name(family), "Faiss-CPU", k,
-              run_cpu(cfg).times);
-      add_row(table, data::family_name(family), "Faiss-GPU", k,
-              run_gpu(cfg).times);
-      add_row(table, data::family_name(family), "UpANNS", k,
-              run_upanns(cfg).times);
+      add_row(sink, data::family_name(family), "Faiss-CPU", k, run_cpu(cfg));
+      add_row(sink, data::family_name(family), "Faiss-GPU", k, run_gpu(cfg));
+      add_row(sink, data::family_name(family), "UpANNS", k, run_upanns(cfg));
     }
     clear_context_cache();
   }
-  table.print();
+  const std::string json_path =
+      argc > 1 ? argv[1] : "fig19_stage_breakdown.json";
+  sink.finish(json_path == "-" ? "" : json_path);
   std::printf("\nPaper shape: CPU ~99.5%% distance; GPU topk 76-89%%; UpANNS "
               "distance 75-80%%, topk 9-17%% as k grows.\n");
   return 0;

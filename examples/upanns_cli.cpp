@@ -6,12 +6,18 @@
 //   upanns_cli tune   --index index.bin --data base.fvecs --recall 0.8
 //   upanns_cli search --index index.bin --data base.fvecs --nprobe 16
 //                     --queries 64 --k 10 --dpus 128 --system upanns
+//                     [--metrics-out metrics.json]
 //   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
-//                     --batch 64 [--no-overlap]
+//                     --batch 64 [--no-overlap] [--trace-out trace.json]
+//                     [--metrics-out metrics.json]
 //
 // `search` drives any backend (cpu, gpu, upanns, naive) through the common
 // core::AnnsBackend interface; `serve` streams query batches through the
-// double-buffered core::BatchPipeline.
+// double-buffered core::BatchPipeline. `--trace-out` writes a Chrome/Perfetto
+// trace of the run (load at ui.perfetto.dev); `--metrics-out` writes the
+// report plus a metrics-registry snapshot as JSON. Flags accept both
+// `--key value` and `--key=value`; `--log-level debug|info|warn|error`
+// (or the UPANNS_LOG environment variable) sets log verbosity anywhere.
 //
 // `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
 // substituted for the synthetic data at any step.
@@ -21,6 +27,7 @@
 #include <map>
 #include <string>
 
+#include "common/log.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "core/pipeline.hpp"
@@ -30,6 +37,9 @@
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report_json.hpp"
+#include "obs/trace.hpp"
 
 using namespace upanns;
 
@@ -42,9 +52,13 @@ struct Args {
     Args a;
     for (int i = from; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) break;
-      // Bare flags (e.g. --no-overlap) read as "1".
       std::string key(argv[i] + 2);
-      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      // --key=value binds in place; bare flags (e.g. --no-overlap) read
+      // as "1"; otherwise the next argv entry is the value.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        a.kv.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
+        i += 1;
+      } else if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
         a.kv.insert_or_assign(std::move(key), std::string("1"));
         i += 1;
       } else {
@@ -162,6 +176,9 @@ int cmd_search(const Args& a) {
     return 1;
   }
   auto backend = core::make_backend(*kind, index, stats, opts);
+  obs::MetricsRegistry registry;
+  const std::string metrics_out = a.str("metrics-out", "");
+  if (!metrics_out.empty()) backend->set_metrics(&registry);
   const auto r = backend->search(wl.queries);
 
   const auto gt = data::exact_topk(ds, wl.queries, opts.k);
@@ -183,6 +200,15 @@ int cmd_search(const Args& a) {
       std::printf(" %s=%.3fms", step.name, step.seconds * 1e3);
     }
     std::printf("\n");
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("search_report").raw(obs::search_report_json(r));
+    w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
+    w.end_object();
+    obs::write_text_file(metrics_out, w.take());
+    std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -207,6 +233,10 @@ int cmd_serve(const Args& a) {
   opts.nprobe = nprobe;
   opts.k = a.num("k", 10);
   core::UpAnnsBackend backend(index, stats, opts);
+  obs::MetricsRegistry registry;
+  const std::string trace_out = a.str("trace-out", "");
+  const std::string metrics_out = a.str("metrics-out", "");
+  if (!metrics_out.empty()) backend.set_metrics(&registry);
 
   const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
   core::BatchPipelineOptions popts;
@@ -228,6 +258,20 @@ int cmd_serve(const Args& a) {
       break;
     }
   }
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out, run);
+    std::printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("batch_pipeline").raw(obs::batch_pipeline_json(run));
+    w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
+    w.end_object();
+    obs::write_text_file(metrics_out, w.take());
+    std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
+  }
   return 0;
 }
 
@@ -238,9 +282,10 @@ int usage() {
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
                "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
                "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n"
-               "         --system cpu|gpu|upanns|naive\n"
+               "         --system cpu|gpu|upanns|naive [--metrics-out M.json]\n"
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
-               "         [--no-overlap]\n");
+               "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"
+               "common: --log-level debug|info|warn|error (or UPANNS_LOG env)\n");
   return 1;
 }
 
@@ -250,6 +295,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args = Args::parse(argc, argv, 2);
+  if (const std::string lvl = args.str("log-level", ""); !lvl.empty()) {
+    if (const auto parsed = common::parse_log_level(lvl)) {
+      common::set_log_level(*parsed);
+    } else {
+      std::fprintf(stderr, "unknown --log-level %s (debug|info|warn|error)\n",
+                   lvl.c_str());
+      return 1;
+    }
+  }
   try {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "build") return cmd_build(args);

@@ -1,13 +1,23 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace upanns::common {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("UPANNS_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  return parse_log_level(env).value_or(LogLevel::kInfo);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mu;
 
 const char* level_name(LogLevel level) {
@@ -23,6 +33,17 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
   std::lock_guard lk(g_mu);

@@ -1,8 +1,14 @@
 // Minimal leveled logging to stderr. Benches keep stdout clean for data rows.
+//
+// The initial level comes from the UPANNS_LOG environment variable
+// (debug|info|warn|error, default info); set_log_level overrides it at
+// runtime (the CLI's --log-level flag does exactly that).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace upanns::common {
 
@@ -11,6 +17,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 void log_message(LogLevel level, const std::string& msg);
+
+/// "debug" | "info" | "warn"/"warning" | "error" (case-insensitive);
+/// nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 namespace detail {
 inline void append_all(std::ostringstream&) {}

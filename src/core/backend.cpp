@@ -160,6 +160,10 @@ SearchReport UpAnnsBackend::search_with_probes(
   return engine_->search_with_probes(queries, probes);
 }
 
+void UpAnnsBackend::set_metrics(obs::MetricsRegistry* registry) {
+  engine_->set_metrics(registry);
+}
+
 const char* backend_name(BackendKind kind) {
   switch (kind) {
     case BackendKind::kCpuIvfpq: return "Faiss-CPU";

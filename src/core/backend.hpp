@@ -30,6 +30,10 @@ class IvfIndex;
 struct ClusterStats;
 }  // namespace upanns::ivf
 
+namespace upanns::obs {
+class MetricsRegistry;
+}  // namespace upanns::obs
+
 namespace upanns::core {
 
 struct UpAnnsOptions;
@@ -139,6 +143,11 @@ class AnnsBackend {
   virtual SearchReport search_with_probes(
       const data::Dataset& queries,
       const std::vector<std::vector<std::uint32_t>>& probes) = 0;
+
+  /// Attach a metrics registry for structured observability (see src/obs/).
+  /// Default: ignored — backends without instrumentation stay silent. The
+  /// registry must outlive the backend or a set_metrics(nullptr).
+  virtual void set_metrics(obs::MetricsRegistry* registry) { (void)registry; }
 };
 
 /// UpANNS (or PIM-naive, depending on options) behind the common interface.
@@ -155,6 +164,7 @@ class UpAnnsBackend final : public AnnsBackend {
   SearchReport search_with_probes(
       const data::Dataset& queries,
       const std::vector<std::vector<std::uint32_t>>& probes) override;
+  void set_metrics(obs::MetricsRegistry* registry) override;
 
   UpAnnsEngine& engine() { return *engine_; }
   const UpAnnsEngine& engine() const { return *engine_; }

@@ -36,6 +36,10 @@
 #include "pim/dpu.hpp"
 #include "pim/energy.hpp"
 
+namespace upanns::obs {
+class MetricsRegistry;
+}  // namespace upanns::obs
+
 namespace upanns::core {
 
 class QueryPipeline;
@@ -99,6 +103,14 @@ class UpAnnsEngine {
   void set_nprobe(std::size_t nprobe);
   void set_mram_read_vectors(std::size_t vectors);
 
+  /// Attach (or detach, with nullptr) a metrics registry. The pipeline
+  /// stages, the PIM system and the transfer model record into it; with no
+  /// registry the instrumentation is an inlined no-op and reports are
+  /// bit-identical (test_obs parity test). The registry must outlive the
+  /// engine or a subsequent set_metrics(nullptr).
+  void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   const Placement& placement() const { return placement_; }
   const ivf::IvfIndex& index() const { return index_; }
   pim::PimSystem& system() { return *system_; }
@@ -126,6 +138,7 @@ class UpAnnsEngine {
 
   const ivf::IvfIndex& index_;
   UpAnnsOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   Placement placement_;
   std::unique_ptr<pim::PimSystem> system_;
   std::vector<PerDpu> per_dpu_;

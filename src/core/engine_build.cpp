@@ -102,6 +102,11 @@ void UpAnnsEngine::set_mram_read_vectors(std::size_t vectors) {
   options_.mram_read_vectors = vectors;
 }
 
+void UpAnnsEngine::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (system_) system_->set_metrics(registry);
+}
+
 void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
   placement_ = options_.opt_placement
                    ? place_clusters(index_, stats, options_.placement)
@@ -112,6 +117,7 @@ void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
 
 void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
   system_ = std::make_unique<pim::PimSystem>(options_.n_dpus);
+  system_->set_metrics(metrics_);  // relocate() rebuilds the system
   per_dpu_.assign(options_.n_dpus, PerDpu{});
 
   const std::size_t m = index_.pq_m();

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace upanns::core {
 
 MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
@@ -95,7 +97,26 @@ MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
   report.qps = report.seconds > 0
                    ? static_cast<double>(nq) / report.seconds
                    : 0;
+
+  obs::MetricsSink sink(metrics_);
+  if (sink.enabled()) {
+    sink.count("multihost.batches");
+    sink.count("multihost.broadcast_bytes",
+               static_cast<std::uint64_t>(bcast_bytes));
+    sink.count("multihost.gather_bytes",
+               static_cast<std::uint64_t>(gather_bytes));
+    sink.count("multihost.merge.lists",
+               static_cast<std::uint64_t>(engines_.size()) * nq);
+    sink.observe("multihost.network_seconds", report.network_seconds);
+    sink.observe("multihost.batch.seconds", report.seconds);
+    sink.set("multihost.slowest_host_seconds", report.slowest_host_seconds);
+  }
   return report;
+}
+
+void MultiHostUpAnns::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  for (auto& engine : engines_) engine->set_metrics(registry);
 }
 
 }  // namespace upanns::core

@@ -50,9 +50,14 @@ class MultiHostUpAnns {
 
   MultiHostReport search(const data::Dataset& queries);
 
+  /// Attach a registry to the coordinator (broadcast/gather bytes, network
+  /// seconds, inter-host merge size) and to every per-host engine.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   const ivf::IvfIndex& index_;
   MultiHostOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::uint32_t> owner_;
   std::vector<std::unique_ptr<UpAnnsEngine>> engines_;
 };

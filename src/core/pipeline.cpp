@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "baselines/cpu_cost_model.hpp"
 #include "common/hw_specs.hpp"
@@ -38,9 +39,10 @@ double ClusterFilterStage::run(QueryPipeline& pl, BatchContext& ctx) {
 // --- Scheduling (Algorithm 2), also host-side; O(|Q| * nprobe).
 double ScheduleStage::run(QueryPipeline& pl, BatchContext& ctx) {
   const std::vector<std::size_t> sizes = pl.index().list_sizes();
-  ctx.sched = pl.options().opt_scheduling
-                  ? schedule_queries(*ctx.probes, pl.placement(), sizes)
-                  : schedule_naive(*ctx.probes, pl.placement(), sizes);
+  ctx.sched =
+      pl.options().opt_scheduling
+          ? schedule_queries(*ctx.probes, pl.placement(), sizes, pl.sink())
+          : schedule_naive(*ctx.probes, pl.placement(), sizes, pl.sink());
   const double seconds =
       static_cast<double>(ctx.sched.total_assignments()) * 16.0 / hw::kCpuFlops;
   ctx.report.times.cluster_filter += seconds;
@@ -117,6 +119,7 @@ double PushStage::run(QueryPipeline& pl, BatchContext& ctx) {
   ctx.report.times.transfer += ts.seconds;
   ctx.report.pim->bytes_pushed = ts.bytes;
   ctx.report.pim->push_parallel = ts.parallel;
+  pim::TransferEngine::record(pl.sink(), "push", ts);
   return ts.seconds;
 }
 
@@ -155,6 +158,10 @@ double LaunchStage::run(QueryPipeline& pl, BatchContext& ctx) {
     px.schedule_balance = common::max_over_mean(loads);
   }
   ctx.report.times.transfer += hw::kHostLaunchLatency;
+  if (pl.sink().enabled()) {
+    pl.sink().set("pim.balance_ratio", px.balance_ratio);
+    pl.sink().set("pim.schedule_balance", px.schedule_balance);
+  }
 
   // Per-DPU stage attribution; the slowest DPU sets the launch-critical
   // breakdown (at-scale extrapolation re-derives the max after scaling).
@@ -239,6 +246,12 @@ double GatherStage::run(QueryPipeline& pl, BatchContext& ctx) {
       pim::TransferEngine::uniform(ndpu, ctx.max_gather);
   ctx.report.times.transfer += ts.seconds;
   px.bytes_gathered = ts.bytes;
+  pim::TransferEngine::record(pl.sink(), "gather", ts);
+  if (pl.sink().enabled()) {
+    pl.sink().count("kernel.merge_insertions", px.merge_insertions);
+    pl.sink().count("kernel.merge_pruned", px.merge_pruned);
+    pl.sink().count("kernel.scanned_records", px.scanned_records);
+  }
   return ts.seconds;
 }
 
@@ -279,9 +292,19 @@ SearchReport QueryPipeline::run(
   ctx.probes = probes;
   ctx.report.pim.emplace();
 
+  obs::MetricsSink s = sink();
   for (const auto& stage : stages_) {
     const double seconds = stage->run(*this, ctx);
     ctx.report.trace.push_back({stage->name(), seconds, stage->side()});
+    if (s.enabled()) {
+      s.observe(std::string("pipeline.stage.") + stage->name() + ".seconds",
+                seconds);
+    }
+  }
+  if (s.enabled()) {
+    s.count("pipeline.batches");
+    s.count("pipeline.queries", queries.n);
+    s.observe("pipeline.batch.seconds", ctx.report.times.total());
   }
 
   ctx.report.pim->n_dpus = options().n_dpus;
@@ -346,6 +369,18 @@ BatchPipelineReport BatchPipeline::run(
   out.qps = out.elapsed_seconds > 0
                 ? static_cast<double>(out.n_queries) / out.elapsed_seconds
                 : 0;
+
+  obs::MetricsSink sink = engine_.metrics();
+  if (sink.enabled()) {
+    for (const BatchSlot& slot : out.slots) {
+      sink.observe("batch_pipeline.slot.host_seconds", slot.host_seconds);
+      sink.observe("batch_pipeline.slot.device_seconds", slot.device_seconds);
+    }
+    sink.count("batch_pipeline.runs");
+    sink.set("batch_pipeline.overlap_saved_seconds",
+             out.serial_seconds - out.elapsed_seconds);
+    sink.set("batch_pipeline.qps", out.qps);
+  }
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include "core/engine.hpp"
 #include "core/scheduler.hpp"
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
 #include "pim/dpu.hpp"
 
 namespace upanns::core {
@@ -123,6 +124,8 @@ class QueryPipeline {
   pim::PimSystem& system() { return *engine_.system_; }
   KernelMode mode() const { return engine_.mode_; }
   UpAnnsEngine::PerDpu& per_dpu(std::size_t d) { return engine_.per_dpu_[d]; }
+  /// Empty (inlined no-op) when the engine has no registry attached.
+  obs::MetricsSink sink() const { return engine_.metrics_; }
 
  private:
   UpAnnsEngine& engine_;

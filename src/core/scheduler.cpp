@@ -21,7 +21,8 @@ std::size_t Schedule::total_assignments() const {
 
 Schedule schedule_queries(const std::vector<std::vector<std::uint32_t>>& probes,
                           const Placement& placement,
-                          const std::vector<std::size_t>& cluster_sizes) {
+                          const std::vector<std::size_t>& cluster_sizes,
+                          obs::MetricsSink sink) {
   const std::size_t ndpu = placement.n_dpus();
   Schedule out;
   out.per_dpu.resize(ndpu);
@@ -78,12 +79,20 @@ Schedule schedule_queries(const std::vector<std::vector<std::uint32_t>>& probes,
                        return a.query < b.query;
                      });
   }
+  if (sink.enabled()) {
+    const std::size_t total = out.total_assignments();
+    sink.count("schedule.assignments", total);
+    sink.count("schedule.assignments.balanced", pending.size());
+    sink.count("schedule.assignments.forced", total - pending.size());
+    sink.set("schedule.balance_ratio", out.balance_ratio());
+  }
   return out;
 }
 
 Schedule schedule_naive(const std::vector<std::vector<std::uint32_t>>& probes,
                         const Placement& placement,
-                        const std::vector<std::size_t>& cluster_sizes) {
+                        const std::vector<std::size_t>& cluster_sizes,
+                        obs::MetricsSink sink) {
   const std::size_t ndpu = placement.n_dpus();
   Schedule out;
   out.per_dpu.resize(ndpu);
@@ -101,6 +110,12 @@ Schedule schedule_naive(const std::vector<std::vector<std::uint32_t>>& probes,
                      [](const Assignment& a, const Assignment& b) {
                        return a.query < b.query;
                      });
+  }
+  if (sink.enabled()) {
+    const std::size_t total = out.total_assignments();
+    sink.count("schedule.assignments", total);
+    sink.count("schedule.assignments.forced", total);
+    sink.set("schedule.balance_ratio", out.balance_ratio());
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/placement.hpp"
+#include "obs/metrics.hpp"
 
 namespace upanns::core {
 
@@ -31,15 +32,20 @@ struct Schedule {
   std::size_t total_assignments() const;
 };
 
-/// Paper Algorithm 2.
+/// Paper Algorithm 2. When a sink is given, books how many assignments were
+/// forced (single-replica) vs load-balanced (replica choice) and the
+/// resulting balance ratio — the signal the Sec 4.1.2 drift controller
+/// watches for replication pressure.
 Schedule schedule_queries(const std::vector<std::vector<std::uint32_t>>& probes,
                           const Placement& placement,
-                          const std::vector<std::size_t>& cluster_sizes);
+                          const std::vector<std::size_t>& cluster_sizes,
+                          obs::MetricsSink sink = {});
 
 /// Naive baseline: every cluster goes to its first (only) replica with no
 /// load balancing — what PIM-naive does.
 Schedule schedule_naive(const std::vector<std::vector<std::uint32_t>>& probes,
                         const Placement& placement,
-                        const std::vector<std::size_t>& cluster_sizes);
+                        const std::vector<std::size_t>& cluster_sizes,
+                        obs::MetricsSink sink = {});
 
 }  // namespace upanns::core

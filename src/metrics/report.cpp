@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
 
 namespace upanns::metrics {
 
@@ -54,6 +58,50 @@ StageShares shares(const baselines::StageTimes& t) {
 
 void banner(const std::string& figure, const std::string& description) {
   std::printf("\n=== %s: %s ===\n", figure.c_str(), description.c_str());
+}
+
+FigureSink::FigureSink(std::string figure, std::vector<std::string> headers)
+    : figure_(std::move(figure)), headers_(std::move(headers)) {}
+
+void FigureSink::add_row(std::vector<std::string> cells,
+                         std::string detail_json) {
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), std::move(detail_json)});
+}
+
+std::string FigureSink::json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("figure", figure_);
+  w.key("columns").begin_array();
+  for (const auto& h : headers_) w.value(h);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      w.kv(headers_[c], row.cells[c]);
+    }
+    if (!row.detail.empty()) w.key("detail").raw(row.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void FigureSink::finish(const std::string& json_path) const {
+  Table table(headers_);
+  for (const auto& row : rows_) table.add_row(row.cells);
+  table.print();
+  if (json_path.empty()) return;
+  std::ofstream out(json_path, std::ios::binary);
+  if (out) out << json() << '\n';
+  if (!out) {
+    common::log_warn("FigureSink: cannot write ", json_path);
+  } else {
+    common::log_info("FigureSink: wrote ", json_path);
+  }
 }
 
 }  // namespace upanns::metrics

@@ -26,7 +26,9 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Percentage shares of the four pipeline stages, as in Figs 1 and 19.
+/// Percentage shares of the five pipeline stages (cluster filter, LUT build,
+/// distance calculation, top-k, and host<->DPU transfer), as in Figs 1 and 19.
+/// For a nonzero total() the five fields sum to 100.
 struct StageShares {
   double cluster_filter = 0, lut_build = 0, distance_calc = 0, topk = 0,
          transfer = 0;
@@ -35,5 +37,35 @@ StageShares shares(const baselines::StageTimes& t);
 
 /// Print a standard figure banner so bench output is self-describing.
 void banner(const std::string& figure, const std::string& description);
+
+/// Collects figure rows once and renders them twice from the same data: the
+/// paper-shaped stdout table and a machine-readable JSON document. Each JSON
+/// row maps column name -> cell string and may carry a `detail` member — a
+/// pre-rendered JSON value (e.g. obs::pim_extras_json) with the full-precision
+/// numbers the table rounds away.
+class FigureSink {
+ public:
+  FigureSink(std::string figure, std::vector<std::string> headers);
+
+  /// `detail_json` must be a well-formed JSON value or empty (= no detail).
+  void add_row(std::vector<std::string> cells, std::string detail_json = "");
+
+  /// {"figure":..., "columns":[...], "rows":[{col:cell..., "detail":...}]}
+  std::string json() const;
+
+  /// Print the table to stdout; when `json_path` is non-empty, also write
+  /// `json()` there (logs a warning on I/O failure instead of throwing).
+  void finish(const std::string& json_path = "") const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    std::string detail;
+  };
+
+  std::string figure_;
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace upanns::metrics

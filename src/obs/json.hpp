@@ -1,0 +1,87 @@
+// Minimal JSON support for the observability exporters: a streaming writer
+// whose double formatting round-trips bit-exactly (%.17g + strtod), and a
+// small recursive-descent parser used by tests and tools to validate and
+// read back exported files. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upanns::obs {
+
+/// Streaming JSON writer. Handles commas and nesting; the caller supplies a
+/// well-formed sequence of begin/end/key/value calls (debug-checked).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splice a pre-rendered JSON value verbatim (the caller guarantees it is
+  /// well formed; commas and keys are handled as for any other value).
+  JsonWriter& raw(std::string_view json);
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> has_item_;  ///< per open scope: emitted an item already?
+  bool pending_key_ = false;
+};
+
+std::string json_escape(std::string_view s);
+
+/// Format a double so that strtod reads back the identical bits.
+std::string json_number(double v);
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool has(const std::string& k) const {
+    return is_object() && object.count(k) > 0;
+  }
+  /// Object member access; throws std::out_of_range when missing.
+  const JsonValue& at(const std::string& k) const;
+  /// Array element access; throws std::out_of_range when out of bounds.
+  const JsonValue& at(std::size_t i) const;
+};
+
+/// Parse a complete JSON document (throws std::runtime_error on malformed
+/// input or trailing garbage).
+JsonValue json_parse(std::string_view text);
+
+}  // namespace upanns::obs

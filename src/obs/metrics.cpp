@@ -1,0 +1,212 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace upanns::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds not strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  // Bucket b spans (bounds[b-1], bounds[b]]: the first bound >= v is the
+  // inclusive upper edge (quantile() interpolates on the same convention).
+  const std::size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  double cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cum + static_cast<double>(counts[b]);
+    if (rank <= next || b + 1 == counts.size()) {
+      // Interpolate inside bucket b between its lower and upper edge; the
+      // extreme buckets use the observed min/max as their missing edge.
+      const double lo = b == 0 ? min() : bounds_[b - 1];
+      const double hi = b == bounds_.size() ? max() : bounds_[b];
+      const double frac =
+          std::clamp((rank - cum) / static_cast<double>(counts[b]), 0.0, 1.0);
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    cum = next;
+  }
+  return max();
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::merge_from: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  atomic_min(min_, other.min());
+  atomic_max(max_, other.max());
+}
+
+std::vector<double> Histogram::default_time_bounds() {
+  // 1-2-5 decades from 1 us to 10 s.
+  std::vector<double> b;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(2 * decade);
+    b.push_back(5 * decade);
+  }
+  b.push_back(10.0);
+  return b;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  for (auto& e : counters_) {
+    if (e.name == name) return *e.instrument;
+  }
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  for (auto& e : gauges_) {
+    if (e.name == name) return *e.instrument;
+  }
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lk(mu_);
+  for (auto& e : histograms_) {
+    if (e.name == name) return *e.instrument;
+  }
+  if (bounds.empty()) bounds = Histogram::default_time_bounds();
+  histograms_.push_back(
+      {std::string(name), std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot s;
+  for (const auto& e : counters_) {
+    s.counters.push_back({e.name, e.instrument->value()});
+  }
+  for (const auto& e : gauges_) {
+    s.gauges.push_back({e.name, e.instrument->value()});
+  }
+  for (const auto& e : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = e.name;
+    h.count = e.instrument->count();
+    h.sum = e.instrument->sum();
+    h.min = h.count ? e.instrument->min() : 0.0;
+    h.max = h.count ? e.instrument->max() : 0.0;
+    h.p50 = e.instrument->quantile(0.50);
+    h.p90 = e.instrument->quantile(0.90);
+    h.p99 = e.instrument->quantile(0.99);
+    h.bounds = e.instrument->bounds();
+    h.bucket_counts = e.instrument->bucket_counts();
+    s.histograms.push_back(std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.gauges.begin(), s.gauges.end(), by_name);
+  std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  return s;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Take stable snapshots of the other registry's entry list first; entries
+  // are never removed, so the instrument references stay valid unlocked.
+  std::vector<std::pair<std::string, Counter*>> counters;
+  std::vector<std::pair<std::string, Gauge*>> gauges;
+  std::vector<std::pair<std::string, Histogram*>> hists;
+  {
+    std::lock_guard lk(other.mu_);
+    for (const auto& e : other.counters_) {
+      counters.emplace_back(e.name, e.instrument.get());
+    }
+    for (const auto& e : other.gauges_) {
+      gauges.emplace_back(e.name, e.instrument.get());
+    }
+    for (const auto& e : other.histograms_) {
+      hists.emplace_back(e.name, e.instrument.get());
+    }
+  }
+  for (auto& [name, c] : counters) counter(name).add(c->value());
+  for (auto& [name, g] : gauges) gauge(name).set(g->value());
+  for (auto& [name, h] : hists) {
+    histogram(name, h->bounds()).merge_from(*h);
+  }
+}
+
+}  // namespace upanns::obs

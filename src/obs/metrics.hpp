@@ -1,0 +1,170 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms for
+// the serving core (paper Figs 1/11/16/19 are all readouts of these
+// instruments). Instrumented code holds a MetricsSink, a nullable handle
+// whose operations inline to a pointer check when no registry is attached,
+// so the simulated-time arithmetic and tier-1 bench numbers are untouched
+// when observability is off.
+//
+// Instruments are created on first use and live as long as the registry;
+// references returned by counter()/gauge()/histogram() are stable, so hot
+// loops can resolve a name once and update through the reference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upanns::obs {
+
+/// Monotonically increasing integer (events, bytes, cycles).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written floating-point value (ratios, occupancy).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with quantile readout. Bucket i counts values
+/// <= bounds[i] (and greater than the previous bound); one implicit overflow
+/// bucket catches the rest. Thread-safe via per-bucket atomics.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  double mean() const;
+
+  /// q in [0, 1]; linear interpolation inside the chosen bucket, clamped to
+  /// the observed min/max. Returns 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Fold another histogram (same bounds) into this one.
+  void merge_from(const Histogram& other);
+
+  /// Exponential bounds 1 us .. ~10 s — a good default for simulated stage
+  /// and transfer seconds.
+  static std::vector<double> default_time_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of every instrument, for serialization.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Creation takes a lock; the returned reference is stable
+  /// for the registry's lifetime, so cache it around hot loops.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation (defaults to time bounds).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Sorted-by-name copy of every instrument.
+  MetricsSnapshot snapshot() const;
+
+  /// Fold another registry into this one: counters add, histograms with the
+  /// same bounds merge bucket-wise, gauges take the other's value. Used to
+  /// combine per-thread/per-shard registries after a parallel phase.
+  void merge_from(const MetricsRegistry& other);
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::unique_ptr<T> instrument;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+/// Nullable instrumentation handle. Default-constructed (or built from a
+/// null registry) every operation is an inlined pointer check and nothing
+/// else — the zero-cost-when-disabled guarantee the pipeline relies on.
+class MetricsSink {
+ public:
+  MetricsSink() = default;
+  /*implicit*/ MetricsSink(MetricsRegistry* registry) : reg_(registry) {}
+
+  bool enabled() const { return reg_ != nullptr; }
+  MetricsRegistry* registry() const { return reg_; }
+
+  void count(std::string_view name, std::uint64_t n = 1) {
+    if (reg_) reg_->counter(name).add(n);
+  }
+  void set(std::string_view name, double v) {
+    if (reg_) reg_->gauge(name).set(v);
+  }
+  void observe(std::string_view name, double v) {
+    if (reg_) reg_->histogram(name).observe(v);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+};
+
+}  // namespace upanns::obs

@@ -1,0 +1,169 @@
+#include "obs/report_json.hpp"
+
+namespace upanns::obs {
+
+void append_stage_times(JsonWriter& w, const baselines::StageTimes& t) {
+  w.begin_object()
+      .kv("cluster_filter", t.cluster_filter)
+      .kv("lut_build", t.lut_build)
+      .kv("distance_calc", t.distance_calc)
+      .kv("topk", t.topk)
+      .kv("transfer", t.transfer)
+      .kv("total", t.total())
+      .end_object();
+}
+
+void append_pim_extras(JsonWriter& w, const core::PimExtras& px) {
+  w.begin_object();
+  w.kv("n_dpus", px.n_dpus);
+  w.kv("balance_ratio", px.balance_ratio);
+  w.kv("schedule_balance", px.schedule_balance);
+  w.kv("bytes_pushed", px.bytes_pushed);
+  w.kv("bytes_gathered", px.bytes_gathered);
+  w.kv("push_parallel", px.push_parallel);
+  w.kv("length_reduction", px.length_reduction);
+  w.kv("merge_insertions", px.merge_insertions);
+  w.kv("merge_pruned", px.merge_pruned);
+  w.kv("scanned_records", px.scanned_records);
+  w.kv("total_instructions", px.total_instructions);
+  w.kv("total_dma_cycles", px.total_dma_cycles);
+  w.key("dpu_busy_seconds").begin_array();
+  for (double s : px.dpu_busy_seconds) w.value(s);
+  w.end_array();
+  w.key("dpu_stage_seconds").begin_array();
+  for (const auto& s : px.dpu_stage_seconds) {
+    w.begin_object()
+        .kv("lut", s.lut)
+        .kv("dist", s.dist)
+        .kv("topk", s.topk)
+        .kv("total", s.total())
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void append_search_report(JsonWriter& w, const core::SearchReport& r) {
+  w.begin_object();
+  w.kv("n_queries", r.neighbors.size());
+  w.kv("qps", r.qps);
+  w.kv("qps_per_watt", r.qps_per_watt);
+  w.key("times");
+  append_stage_times(w, r.times);
+  w.key("trace").begin_array();
+  for (const core::StageStep& s : r.trace) {
+    w.begin_object()
+        .kv("name", s.name)
+        .kv("side", s.side == core::StageSide::kHost ? "host" : "device")
+        .kv("seconds", s.seconds)
+        .end_object();
+  }
+  w.end_array();
+  if (r.pim.has_value()) {
+    w.key("pim");
+    append_pim_extras(w, *r.pim);
+  }
+  if (r.gpu.has_value()) {
+    w.key("gpu").begin_object().kv("oom", r.gpu->oom).end_object();
+  }
+  w.end_object();
+}
+
+void append_batch_pipeline_report(JsonWriter& w,
+                                  const core::BatchPipelineReport& r) {
+  w.begin_object();
+  w.kv("overlapped", r.overlapped);
+  w.kv("n_queries", r.n_queries);
+  w.kv("qps", r.qps);
+  w.kv("serial_seconds", r.serial_seconds);
+  w.kv("elapsed_seconds", r.elapsed_seconds);
+  w.key("slots").begin_array();
+  for (const core::BatchSlot& slot : r.slots) {
+    w.begin_object();
+    w.kv("host_seconds", slot.host_seconds);
+    w.kv("device_seconds", slot.device_seconds);
+    w.key("report");
+    append_search_report(w, slot.report);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void append_multi_host_report(JsonWriter& w, const core::MultiHostReport& r) {
+  w.begin_object();
+  w.kv("n_queries", r.neighbors.size());
+  w.kv("seconds", r.seconds);
+  w.kv("qps", r.qps);
+  w.kv("network_seconds", r.network_seconds);
+  w.kv("slowest_host_seconds", r.slowest_host_seconds);
+  w.key("host_times").begin_array();
+  for (const auto& t : r.host_times) append_stage_times(w, t);
+  w.end_array();
+  w.end_object();
+}
+
+void append_snapshot(JsonWriter& w, const MetricsSnapshot& s) {
+  w.begin_object();
+  w.key("counters").begin_array();
+  for (const auto& c : s.counters) {
+    w.begin_object().kv("name", c.name).kv("value", c.value).end_object();
+  }
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& g : s.gauges) {
+    w.begin_object().kv("name", g.name).kv("value", g.value).end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& h : s.histograms) {
+    w.begin_object();
+    w.kv("name", h.name);
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("p50", h.p50);
+    w.kv("p90", h.p90);
+    w.kv("p99", h.p99);
+    w.key("bounds").begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("bucket_counts").begin_array();
+    for (std::uint64_t c : h.bucket_counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+template <typename T, typename Fn>
+std::string render(const T& v, Fn append) {
+  JsonWriter w;
+  append(w, v);
+  return w.take();
+}
+}  // namespace
+
+std::string stage_times_json(const baselines::StageTimes& t) {
+  return render(t, append_stage_times);
+}
+std::string pim_extras_json(const core::PimExtras& px) {
+  return render(px, append_pim_extras);
+}
+std::string search_report_json(const core::SearchReport& r) {
+  return render(r, append_search_report);
+}
+std::string batch_pipeline_json(const core::BatchPipelineReport& r) {
+  return render(r, append_batch_pipeline_report);
+}
+std::string multi_host_report_json(const core::MultiHostReport& r) {
+  return render(r, append_multi_host_report);
+}
+std::string snapshot_json(const MetricsSnapshot& s) {
+  return render(s, append_snapshot);
+}
+
+}  // namespace upanns::obs

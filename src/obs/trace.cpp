@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace upanns::obs {
+
+std::vector<BatchWindows> pipeline_timeline(
+    const core::BatchPipelineReport& report) {
+  std::vector<BatchWindows> out;
+  out.reserve(report.slots.size());
+  double device_free = 0;  // when the device finished the previous batch
+  double host_free = 0;    // when the host may start the next prefix
+  for (const core::BatchSlot& slot : report.slots) {
+    BatchWindows w;
+    w.host_start = host_free;
+    w.host_end = w.host_start + slot.host_seconds;
+    if (report.overlapped) {
+      // Device waits for both its input (host prefix) and the device itself;
+      // the next host prefix starts as soon as this device phase does.
+      w.device_start = std::max(w.host_end, device_free);
+      host_free = w.device_start;
+    } else {
+      w.device_start = w.host_end;
+      host_free = w.device_start + slot.device_seconds;
+    }
+    w.device_end = w.device_start + slot.device_seconds;
+    device_free = w.device_end;
+    out.push_back(w);
+  }
+  return out;
+}
+
+PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
+  PipelineTrace t;
+  t.lanes.emplace_back(0, "host");
+  t.lanes.emplace_back(1, "device");
+  std::size_t max_dpu_lane = 0;
+
+  const std::vector<BatchWindows> windows = pipeline_timeline(report);
+  for (std::size_t b = 0; b < report.slots.size(); ++b) {
+    const core::BatchSlot& slot = report.slots[b];
+    const BatchWindows& w = windows[b];
+
+    // Host prefix = the leading kHost trace entries, then the device-bound
+    // remainder — the same split BatchPipeline::run uses for host_seconds.
+    std::size_t step = 0;
+    double cursor = w.host_start;
+    for (; step < slot.report.trace.size(); ++step) {
+      const core::StageStep& s = slot.report.trace[step];
+      if (s.side != core::StageSide::kHost) break;
+      t.slices.push_back({s.name, "host", 0, cursor, s.seconds, b});
+      cursor += s.seconds;
+    }
+    cursor = w.device_start;
+    double launch_start = w.device_start;
+    for (; step < slot.report.trace.size(); ++step) {
+      const core::StageStep& s = slot.report.trace[step];
+      t.slices.push_back({s.name, "device", 1, cursor, s.seconds, b});
+      if (std::string_view(s.name) == "kernel-launch") launch_start = cursor;
+      cursor += s.seconds;
+    }
+
+    // Per-DPU busy slices under this batch's kernel-launch stage.
+    if (slot.report.pim.has_value()) {
+      const auto& busy = slot.report.pim->dpu_busy_seconds;
+      for (std::size_t d = 0; d < busy.size(); ++d) {
+        if (busy[d] <= 0) continue;
+        t.slices.push_back({"dpu-kernel", "dpu", static_cast<int>(2 + d),
+                            launch_start, busy[d], b});
+        max_dpu_lane = std::max(max_dpu_lane, d);
+      }
+    }
+  }
+
+  for (std::size_t d = 0; d <= max_dpu_lane; ++d) {
+    t.lanes.emplace_back(static_cast<int>(2 + d),
+                         "dpu-" + std::to_string(d));
+  }
+  return t;
+}
+
+std::string trace_json(const PipelineTrace& trace) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .kv("ph", "M")
+      .kv("name", "process_name")
+      .kv("pid", 0)
+      .kv("tid", 0)
+      .key("args")
+      .begin_object()
+      .kv("name", "upanns")
+      .end_object()
+      .end_object();
+  for (const auto& [tid, name] : trace.lanes) {
+    w.begin_object()
+        .kv("ph", "M")
+        .kv("name", "thread_name")
+        .kv("pid", 0)
+        .kv("tid", tid)
+        .key("args")
+        .begin_object()
+        .kv("name", name)
+        .end_object()
+        .end_object();
+  }
+  for (const TraceSlice& s : trace.slices) {
+    w.begin_object()
+        .kv("ph", "X")
+        .kv("name", s.name)
+        .kv("cat", s.category)
+        .kv("pid", 0)
+        .kv("tid", s.lane)
+        .kv("ts", s.start_seconds * 1e6)
+        .kv("dur", s.duration_seconds * 1e6)
+        .key("args")
+        .begin_object()
+        .kv("batch", static_cast<std::uint64_t>(s.batch))
+        .end_object()
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  f.write(content.data(),
+          static_cast<std::streamsize>(content.size()));
+  if (!f) throw std::runtime_error("short write to " + path);
+}
+
+void write_trace_file(const std::string& path,
+                      const core::BatchPipelineReport& report) {
+  write_text_file(path, trace_json(pipeline_trace(report)));
+}
+
+}  // namespace upanns::obs

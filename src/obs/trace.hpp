@@ -1,0 +1,76 @@
+// Chrome/Perfetto trace export of a BatchPipeline run.
+//
+// The timeline is derived from exactly the numbers the pipeline's
+// double-buffered accounting uses (core/pipeline.hpp): batch 0's host prefix
+// starts at t=0; each batch's device phase starts when both the device is
+// free and its own host prefix is done; batch i+1's host prefix starts when
+// batch i's device phase starts. Because IEEE rounding is monotone,
+// max(fl(a+b), fl(a+c)) == fl(a + max(b, c)), so the final device-phase end
+// reproduces elapsed_seconds = h_0 + sum_i max(d_i, h_{i+1}) + d_last
+// bit-for-bit for overlapped runs (asserted in test_obs).
+//
+// Lanes (Chrome trace "threads" of one process):
+//   tid 0          host    — leading host stages of every batch
+//   tid 1          device  — the device-bound remainder of every batch
+//   tid 2+d        dpu-<d> — that DPU's kernel busy time, one slice per
+//                            batch it participated in (from LaunchStats via
+//                            PimExtras::dpu_busy_seconds)
+//
+// Load the file at ui.perfetto.dev (or chrome://tracing): batch i+1's host
+// slices visibly overlap batch i's device slices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace upanns::obs {
+
+/// Simulated-time windows of one batch on the host and device lanes.
+struct BatchWindows {
+  double host_start = 0, host_end = 0;
+  double device_start = 0, device_end = 0;
+};
+
+/// Lay every batch out on the two lanes under the pipeline's accounting.
+/// For overlapped reports the last window's device_end equals
+/// elapsed_seconds bit-for-bit; serial runs lay batches back to back.
+std::vector<BatchWindows> pipeline_timeline(
+    const core::BatchPipelineReport& report);
+
+/// One "complete" (ph "X") slice on a lane.
+struct TraceSlice {
+  std::string name;
+  std::string category;  ///< "host", "device" or "dpu"
+  int lane = 0;          ///< Chrome trace tid
+  double start_seconds = 0;
+  double duration_seconds = 0;
+  std::size_t batch = 0;
+};
+
+struct PipelineTrace {
+  /// lane id -> display name ("host", "device", "dpu-3", ...).
+  std::vector<std::pair<int, std::string>> lanes;
+  std::vector<TraceSlice> slices;
+};
+
+/// Build the slice set: per batch, one slice per leading host stage on the
+/// host lane and one per remaining stage on the device lane (stage names and
+/// seconds straight from SearchReport::trace), plus one busy slice per
+/// active DPU aligned with that batch's kernel-launch stage.
+PipelineTrace pipeline_trace(const core::BatchPipelineReport& report);
+
+/// Serialize to Chrome trace-event JSON ("traceEvents" array of X slices and
+/// M thread-name metadata; ts/dur in microseconds).
+std::string trace_json(const PipelineTrace& trace);
+
+/// pipeline_trace + trace_json + write to `path` (throws std::runtime_error
+/// when the file cannot be written).
+void write_trace_file(const std::string& path,
+                      const core::BatchPipelineReport& report);
+
+/// Write `content` to `path` (throws std::runtime_error on failure).
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace upanns::obs

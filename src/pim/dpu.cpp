@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace upanns::pim {
 
@@ -126,6 +127,43 @@ PimSystem::LaunchStats PimSystem::launch(
   }
   out.seconds =
       DpuCostModel::cycles_to_seconds(out.max_cycles) + hw::kHostLaunchLatency;
+
+  if (metrics_) {
+    // Aggregate locally first so the registry lock is taken once per
+    // instrument, not once per DPU.
+    obs::Histogram& busy = metrics_->histogram("pim.dpu.busy_seconds");
+    std::size_t active = 0;
+    std::uint64_t instructions = 0, dma_cycles = 0;
+    std::vector<std::uint64_t> phase_cycles;
+    for (std::size_t i = 0; i < out.dpu_stats.size(); ++i) {
+      const DpuRunStats& st = out.dpu_stats[i];
+      if (st.cycles == 0 && st.phase_cycles.empty()) continue;
+      ++active;
+      busy.observe(out.dpu_seconds[i]);
+      instructions += st.instructions;
+      dma_cycles += st.dma_cycles;
+      if (phase_cycles.size() < st.phase_cycles.size()) {
+        phase_cycles.resize(st.phase_cycles.size(), 0);
+      }
+      for (std::size_t p = 0; p < st.phase_cycles.size(); ++p) {
+        phase_cycles[p] += st.phase_cycles[p];
+      }
+    }
+    metrics_->counter("pim.launches").add(1);
+    metrics_->counter("pim.launch.active_dpus").add(active);
+    metrics_->counter("pim.launch.instructions").add(instructions);
+    metrics_->counter("pim.launch.dma_cycles").add(dma_cycles);
+    for (std::size_t p = 0; p < phase_cycles.size(); ++p) {
+      metrics_->counter("pim.launch.phase_cycles." + std::to_string(p))
+          .add(phase_cycles[p]);
+    }
+    metrics_->gauge("pim.launch.tasklets").set(static_cast<double>(
+        std::clamp(n_tasklets, 1u, hw::kMaxTasklets)));
+    metrics_->gauge("pim.launch.tasklet_occupancy")
+        .set(static_cast<double>(std::clamp(n_tasklets, 1u, hw::kMaxTasklets)) /
+             static_cast<double>(hw::kMaxTasklets));
+    metrics_->histogram("pim.launch.seconds").observe(out.seconds);
+  }
   return out;
 }
 

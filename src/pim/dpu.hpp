@@ -26,6 +26,10 @@
 #include "pim/cost_model.hpp"
 #include "pim/wram.hpp"
 
+namespace upanns::obs {
+class MetricsRegistry;
+}  // namespace upanns::obs
+
 namespace upanns::pim {
 
 class Dpu;
@@ -157,8 +161,14 @@ class PimSystem {
   LaunchStats launch(const std::function<DpuKernel*(std::size_t)>& kernel_for,
                      unsigned n_tasklets);
 
+  /// Attach a metrics registry: every launch records per-DPU busy seconds,
+  /// tasklet occupancy, per-phase cycle totals and instruction/DMA counters.
+  /// nullptr (the default) keeps launch() untouched.
+  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   std::vector<Dpu> dpus_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace upanns::pim

@@ -1,6 +1,7 @@
 #include "pim/transfer.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace upanns::pim {
 
@@ -38,6 +39,16 @@ TransferStats TransferEngine::uniform(std::size_t n_dpus, std::size_t bytes) {
     out.seconds = static_cast<double>(out.bytes) / hw::kHostXferParallelBw;
   }
   return out;
+}
+
+void TransferEngine::record(obs::MetricsSink sink, const char* direction,
+                            const TransferStats& stats) {
+  if (!sink.enabled()) return;
+  const std::string prefix = std::string("transfer.") + direction;
+  sink.count(prefix + ".bytes", stats.bytes);
+  sink.count(prefix + ".ops");
+  sink.count(stats.parallel ? prefix + ".uniform" : prefix + ".serial");
+  sink.observe(prefix + ".seconds", stats.seconds);
 }
 
 }  // namespace upanns::pim

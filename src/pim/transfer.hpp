@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/hw_specs.hpp"
+#include "obs/metrics.hpp"
 
 namespace upanns::pim {
 
@@ -28,6 +29,13 @@ class TransferEngine {
 
   /// Uniform-size fast path: n_dpus buffers of `bytes` each.
   static TransferStats uniform(std::size_t n_dpus, std::size_t bytes);
+
+  /// Book one transfer into the registry under `direction` ("push" or
+  /// "gather"): bytes moved, seconds, and whether the uniform-size
+  /// concurrent path or the serialized fallback was taken. No-op when the
+  /// sink is empty.
+  static void record(obs::MetricsSink sink, const char* direction,
+                     const TransferStats& stats);
 };
 
 }  // namespace upanns::pim

@@ -33,6 +33,17 @@ TEST(Shares, SumToHundred) {
   EXPECT_NEAR(s.distance_calc, 30.0, 1e-9);
 }
 
+TEST(Shares, SumToHundredWithNonzeroTransfer) {
+  // All five fields participate — transfer is a stage share, not a leftover.
+  baselines::StageTimes t{1, 2, 3, 4, 10};
+  const StageShares s = shares(t);
+  EXPECT_NEAR(s.cluster_filter + s.lut_build + s.distance_calc + s.topk +
+                  s.transfer,
+              100.0, 1e-9);
+  EXPECT_NEAR(s.transfer, 50.0, 1e-9);
+  EXPECT_NEAR(s.distance_calc, 15.0, 1e-9);
+}
+
 TEST(Shares, ZeroTotalIsAllZero) {
   const StageShares s = shares(baselines::StageTimes{});
   EXPECT_DOUBLE_EQ(s.distance_calc, 0.0);
