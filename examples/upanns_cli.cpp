@@ -8,12 +8,14 @@
 //                     --queries 64 --k 10 --dpus 128 --system upanns
 //                     [--metrics-out metrics.json]
 //   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
-//                     --batch 64 [--no-overlap] [--trace-out trace.json]
-//                     [--metrics-out metrics.json]
+//                     --batch 64 [--hosts 4] [--no-overlap]
+//                     [--trace-out trace.json] [--metrics-out metrics.json]
 //
-// `search` drives any backend (cpu, gpu, upanns, naive) through the common
-// core::AnnsBackend interface; `serve` streams query batches through the
-// double-buffered core::BatchPipeline. `--trace-out` writes a Chrome/Perfetto
+// `search` drives any backend (cpu, gpu, upanns, naive, multihost) through
+// the common core::AnnsBackend interface; `serve` streams query batches
+// through the double-buffered core::BatchPipeline — or, with `--hosts N`,
+// through the overlapped multi-host core::MultiHostBatchPipeline (network
+// modeled via --net-gbps / --net-latency-us). `--trace-out` writes a Chrome/Perfetto
 // trace of the run (load at ui.perfetto.dev); `--metrics-out` writes the
 // report plus a metrics-registry snapshot as JSON. Flags accept both
 // `--key value` and `--key=value`; `--log-level debug|info|warn|error`
@@ -30,6 +32,7 @@
 #include "common/log.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
+#include "core/multihost.hpp"
 #include "core/pipeline.hpp"
 #include "core/tuner.hpp"
 #include "data/ground_truth.hpp"
@@ -171,11 +174,20 @@ int cmd_search(const Args& a) {
   const std::string system = a.str("system", "upanns");
   const auto kind = core::backend_kind_of(system);
   if (!kind) {
-    std::fprintf(stderr, "unknown --system %s (cpu|gpu|upanns|naive)\n",
+    std::fprintf(stderr,
+                 "unknown --system %s (cpu|gpu|upanns|naive|multihost)\n",
                  system.c_str());
     return 1;
   }
-  auto backend = core::make_backend(*kind, index, stats, opts);
+  std::unique_ptr<core::AnnsBackend> backend;
+  if (*kind == core::BackendKind::kMultiHost) {
+    core::MultiHostOptions mh;
+    mh.n_hosts = a.num("hosts", 2);
+    mh.per_host = opts;
+    backend = core::make_multihost_backend(index, stats, mh);
+  } else {
+    backend = core::make_backend(*kind, index, stats, opts);
+  }
   obs::MetricsRegistry registry;
   const std::string metrics_out = a.str("metrics-out", "");
   if (!metrics_out.empty()) backend->set_metrics(&registry);
@@ -232,13 +244,65 @@ int cmd_serve(const Args& a) {
   opts.n_dpus = a.num("dpus", 128);
   opts.nprobe = nprobe;
   opts.k = a.num("k", 10);
-  core::UpAnnsBackend backend(index, stats, opts);
   obs::MetricsRegistry registry;
   const std::string trace_out = a.str("trace-out", "");
   const std::string metrics_out = a.str("metrics-out", "");
+  const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
+
+  // --hosts N > 1: shard across a simulated multi-host cluster and stream
+  // the batches through the overlapped multi-host pipeline.
+  if (const std::size_t hosts = a.num("hosts", 1); hosts > 1) {
+    core::MultiHostOptions mh;
+    mh.n_hosts = hosts;
+    mh.per_host = opts;
+    mh.network_bandwidth = a.real("net-gbps", 25.0) * 1e9 / 8.0;
+    mh.network_latency = a.real("net-latency-us", 50.0) * 1e-6;
+    core::MultiHostUpAnns cluster(index, stats, mh);
+    if (!metrics_out.empty()) cluster.set_metrics(&registry);
+
+    core::MultiHostPipelineOptions popts;
+    popts.overlap = !a.flag("no-overlap");
+    core::MultiHostBatchPipeline pipeline(cluster, popts);
+    const auto run = pipeline.run(batches);
+
+    std::printf("served %zu queries in %zu batches on %zu hosts "
+                "(%zu active, %s)\n",
+                run.n_queries, run.slots.size(), cluster.n_hosts(),
+                cluster.n_active_hosts(),
+                run.overlapped ? "overlapped" : "no-overlap");
+    std::printf("simulated elapsed %.3f ms (synchronous sum %.3f ms), "
+                "QPS=%.1f\n",
+                run.elapsed_seconds * 1e3, run.serial_seconds * 1e3, run.qps);
+    for (std::size_t i = 0; i < run.slots.size(); ++i) {
+      std::printf("  batch %2zu: pre %.4f ms, device %.4f ms, post %.4f ms\n",
+                  i, run.slots[i].pre_seconds * 1e3,
+                  run.slots[i].device_seconds * 1e3,
+                  run.slots[i].post_seconds * 1e3);
+      if (i >= 3 && run.slots.size() > 5) {
+        std::printf("  ... (%zu more batches)\n", run.slots.size() - i - 1);
+        break;
+      }
+    }
+    if (!trace_out.empty()) {
+      obs::write_multihost_trace_file(trace_out, run);
+      std::printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("multihost_pipeline").raw(obs::multi_host_pipeline_json(run));
+      w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
+      w.end_object();
+      obs::write_text_file(metrics_out, w.take());
+      std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
+    }
+    return 0;
+  }
+
+  core::UpAnnsBackend backend(index, stats, opts);
   if (!metrics_out.empty()) backend.set_metrics(&registry);
 
-  const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
   core::BatchPipelineOptions popts;
   popts.overlap = !a.flag("no-overlap");
   core::BatchPipeline pipeline(backend.engine(), popts);
@@ -282,8 +346,10 @@ int usage() {
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
                "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
                "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n"
-               "         --system cpu|gpu|upanns|naive [--metrics-out M.json]\n"
+               "         --system cpu|gpu|upanns|naive|multihost [--hosts N]\n"
+               "         [--metrics-out M.json]\n"
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
+               "         [--hosts N --net-gbps G --net-latency-us U]\n"
                "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"
                "common: --log-level debug|info|warn|error (or UPANNS_LOG env)\n");
   return 1;

@@ -10,6 +10,7 @@
 
 #include "baselines/cpu_ivfpq.hpp"
 #include "core/engine.hpp"
+#include "core/multihost.hpp"
 #include "data/ground_truth.hpp"
 #include "pim/energy.hpp"
 
@@ -164,12 +165,74 @@ void UpAnnsBackend::set_metrics(obs::MetricsRegistry* registry) {
   engine_->set_metrics(registry);
 }
 
+MultiHostBackend::MultiHostBackend(const ivf::IvfIndex& index,
+                                   const ivf::ClusterStats& stats,
+                                   const MultiHostOptions& options)
+    : cluster_(std::make_unique<MultiHostUpAnns>(index, stats, options)) {}
+
+MultiHostBackend::~MultiHostBackend() = default;
+
+namespace {
+
+SearchReport wrap_multihost(MultiHostReport r) {
+  SearchReport out;
+  // Slowest host's breakdown, with the shared coordinator filter replacing
+  // the host's own copy (identical value, charged once) and the network +
+  // inter-host merge share in the transfer bucket. The trace carries the
+  // coordinator-phase decomposition; both sum to the multi-host seconds.
+  std::size_t slowest = 0;
+  double slowest_remainder = -1.0;
+  for (std::size_t h = 0; h < r.host_slots.size(); ++h) {
+    const MultiHostHostSlot& s = r.host_slots[h];
+    if (!s.active) continue;
+    if (s.host_seconds + s.device_seconds > slowest_remainder) {
+      slowest_remainder = s.host_seconds + s.device_seconds;
+      slowest = h;
+    }
+  }
+  if (slowest_remainder >= 0) out.times = r.host_times[slowest];
+  out.times.cluster_filter +=
+      r.coord_filter_seconds -
+      (slowest_remainder >= 0
+           ? r.host_times[slowest].total() - slowest_remainder
+           : 0);
+  out.times.transfer += r.network_seconds + r.coord_merge_seconds;
+  out.trace = {
+      {"cluster-filter", r.coord_filter_seconds, StageSide::kHost},
+      {"broadcast", r.broadcast_seconds, StageSide::kHost},
+      {"host-search", r.slowest_host_seconds, StageSide::kDevice},
+      {"gather", r.gather_seconds, StageSide::kHost},
+      {"interhost-merge", r.coord_merge_seconds, StageSide::kHost},
+  };
+  out.qps = r.qps;
+  out.qps_per_watt = 0;  // per-host power is a per-engine notion
+  out.neighbors = std::move(r.neighbors);
+  return out;
+}
+
+}  // namespace
+
+SearchReport MultiHostBackend::search(const data::Dataset& queries) {
+  return wrap_multihost(cluster_->search(queries));
+}
+
+SearchReport MultiHostBackend::search_with_probes(
+    const data::Dataset& queries,
+    const std::vector<std::vector<std::uint32_t>>& probes) {
+  return wrap_multihost(cluster_->search_with_probes(queries, probes));
+}
+
+void MultiHostBackend::set_metrics(obs::MetricsRegistry* registry) {
+  cluster_->set_metrics(registry);
+}
+
 const char* backend_name(BackendKind kind) {
   switch (kind) {
     case BackendKind::kCpuIvfpq: return "Faiss-CPU";
     case BackendKind::kGpuIvfpq: return "Faiss-GPU";
     case BackendKind::kUpAnns: return "UpANNS";
     case BackendKind::kPimNaive: return "PIM-naive";
+    case BackendKind::kMultiHost: return "UpANNS-MH";
   }
   return "unknown";
 }
@@ -179,6 +242,7 @@ std::optional<BackendKind> backend_kind_of(std::string_view name) {
   if (name == "gpu") return BackendKind::kGpuIvfpq;
   if (name == "upanns") return BackendKind::kUpAnns;
   if (name == "naive" || name == "pim-naive") return BackendKind::kPimNaive;
+  if (name == "multihost" || name == "mh") return BackendKind::kMultiHost;
   return std::nullopt;
 }
 
@@ -207,8 +271,19 @@ std::unique_ptr<AnnsBackend> make_backend(BackendKind kind,
       return std::make_unique<UpAnnsBackend>(index, stats, naive,
                                              backend_name(kind));
     }
+    case BackendKind::kMultiHost: {
+      MultiHostOptions mh;
+      mh.per_host = options;
+      return std::make_unique<MultiHostBackend>(index, stats, mh);
+    }
   }
   throw std::invalid_argument("make_backend: unknown backend kind");
+}
+
+std::unique_ptr<AnnsBackend> make_multihost_backend(
+    const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+    const MultiHostOptions& options) {
+  return std::make_unique<MultiHostBackend>(index, stats, options);
 }
 
 }  // namespace upanns::core

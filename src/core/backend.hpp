@@ -174,19 +174,60 @@ class UpAnnsBackend final : public AnnsBackend {
   const char* label_;
 };
 
-enum class BackendKind { kCpuIvfpq, kGpuIvfpq, kUpAnns, kPimNaive };
+class MultiHostUpAnns;
+struct MultiHostOptions;
+
+/// A sharded multi-host UpANNS cluster (core/multihost.hpp) behind the
+/// common serving interface. The report folds the coordinator-side
+/// accounting into the unified shape: `times` is the slowest host's stage
+/// breakdown with the network fan-out and inter-host merge added to the
+/// transfer bucket, and the trace names the coordinator phases
+/// (cluster-filter / broadcast / host-search / gather / interhost-merge),
+/// so times.total() equals the multi-host report's simulated seconds.
+/// Exposed concretely because the serving extension — the overlapped
+/// MultiHostBatchPipeline — drives the cluster directly.
+class MultiHostBackend final : public AnnsBackend {
+ public:
+  MultiHostBackend(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+                   const MultiHostOptions& options);
+  ~MultiHostBackend() override;
+
+  const char* name() const override { return "UpANNS-MH"; }
+  SearchReport search(const data::Dataset& queries) override;
+  SearchReport search_with_probes(
+      const data::Dataset& queries,
+      const std::vector<std::vector<std::uint32_t>>& probes) override;
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
+  MultiHostUpAnns& cluster() { return *cluster_; }
+  const MultiHostUpAnns& cluster() const { return *cluster_; }
+
+ private:
+  std::unique_ptr<MultiHostUpAnns> cluster_;
+};
+
+enum class BackendKind { kCpuIvfpq, kGpuIvfpq, kUpAnns, kPimNaive, kMultiHost };
 
 const char* backend_name(BackendKind kind);
-/// Parse "cpu" / "gpu" / "upanns" / "naive" (or "pim-naive").
+/// Parse "cpu" / "gpu" / "upanns" / "naive" (or "pim-naive") / "multihost"
+/// (or "mh").
 std::optional<BackendKind> backend_kind_of(std::string_view name);
 
 /// One factory for every system. `options` carries the shared runtime knobs
 /// (k, nprobe) for all kinds and the full PIM configuration for the PIM
 /// kinds; kPimNaive applies the paper's Sec 5.1 naive toggles on top of it.
-/// CPU/GPU backends ignore `stats`.
+/// CPU/GPU backends ignore `stats`. kMultiHost shards across a default two
+/// hosts, each configured with `options` — use make_multihost_backend for
+/// full control over host count and network parameters.
 std::unique_ptr<AnnsBackend> make_backend(BackendKind kind,
                                           const ivf::IvfIndex& index,
                                           const ivf::ClusterStats& stats,
                                           const UpAnnsOptions& options);
+
+/// The multi-host factory: full MultiHostOptions (host count, per-host PIM
+/// configuration, network bandwidth/latency).
+std::unique_ptr<AnnsBackend> make_multihost_backend(
+    const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+    const MultiHostOptions& options);
 
 }  // namespace upanns::core

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
+#include "baselines/cpu_cost_model.hpp"
+#include "common/hw_specs.hpp"
+#include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
 
 namespace upanns::core {
@@ -26,18 +31,23 @@ MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
     return stats.workloads[a] > stats.workloads[b];
   });
   std::vector<double> host_load(options_.n_hosts, 0.0);
+  std::vector<std::size_t> host_clusters(options_.n_hosts, 0);
   for (std::uint32_t c : order) {
     const std::size_t h = static_cast<std::size_t>(
         std::min_element(host_load.begin(), host_load.end()) -
         host_load.begin());
     owner_[c] = static_cast<std::uint32_t>(h);
     host_load[h] += stats.workloads[c];
+    ++host_clusters[h];
   }
 
   // Per-host stats: foreign clusters appear empty, so placement skips them
-  // and the scheduler never routes their probes to this host.
-  engines_.reserve(options_.n_hosts);
+  // and the scheduler never routes their probes to this host. Hosts that own
+  // no clusters at all (n_hosts > n_clusters) get no engine: they would
+  // scan nothing, so they contribute empty lists and zero simulated time.
+  engines_.resize(options_.n_hosts);
   for (std::size_t h = 0; h < options_.n_hosts; ++h) {
+    if (host_clusters[h] == 0) continue;
     ivf::ClusterStats shard = stats;
     for (std::size_t c = 0; c < nc; ++c) {
       if (owner_[c] != h) {
@@ -45,55 +55,145 @@ MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
         shard.workloads[c] = 0;
       }
     }
-    engines_.push_back(
-        std::make_unique<UpAnnsEngine>(index_, shard, options_.per_host));
+    engines_[h] =
+        std::make_unique<UpAnnsEngine>(index_, shard, options_.per_host);
+    ++n_active_;
   }
 }
 
+std::uint32_t MultiHostUpAnns::host_of(std::size_t cluster) const {
+  if (cluster >= owner_.size()) {
+    throw std::out_of_range("MultiHostUpAnns::host_of: cluster " +
+                            std::to_string(cluster) + " >= n_clusters " +
+                            std::to_string(owner_.size()));
+  }
+  return owner_[cluster];
+}
+
+UpAnnsEngine& MultiHostUpAnns::host_engine(std::size_t h) {
+  if (h >= engines_.size() || engines_[h] == nullptr) {
+    throw std::logic_error("MultiHostUpAnns::host_engine: host " +
+                           std::to_string(h) + " owns no clusters");
+  }
+  return *engines_[h];
+}
+
+namespace {
+
+/// The coordinator's one cluster-filtering pass, charged on the same CPU
+/// roofline ClusterFilterStage uses — every per-host engine report books an
+/// identical value, which the aggregation below subtracts so the pass is
+/// accounted exactly once.
+double coord_filter_seconds_of(const ivf::IvfIndex& index, std::size_t nq,
+                               std::size_t k) {
+  baselines::QueryWorkProfile p;
+  p.n_queries = nq;
+  p.n_clusters = index.n_clusters();
+  p.dim = index.dim();
+  p.m = index.pq_m();
+  p.k = k;
+  return baselines::CpuCostModel::stage_times(p).cluster_filter;
+}
+
+}  // namespace
+
 MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
+  const auto probes =
+      ivf::filter_batch(index_, queries, options_.per_host.nprobe);
+  return search_with_probes(queries, probes);
+}
+
+MultiHostReport MultiHostUpAnns::search_with_probes(
+    const data::Dataset& queries,
+    const std::vector<std::vector<std::uint32_t>>& probes) {
   MultiHostReport report;
   const std::size_t nq = queries.n;
   const std::size_t k = options_.per_host.k;
 
-  // One cluster-filtering pass on the coordinator, shared with every host
-  // (hosts hold the same centroids; re-filtering locally would give the same
-  // lists, so we time it once inside each engine's report anyway).
-  const auto probes =
-      ivf::filter_batch(index_, queries, options_.per_host.nprobe);
+  // One cluster-filtering pass on the coordinator, shared with every host.
+  report.coord_filter_seconds =
+      coord_filter_seconds_of(index_, nq, options_.per_host.k);
 
-  // Broadcast the batch: each host receives every query vector.
-  const double bcast_bytes =
+  // Broadcast the batch: the coordinator NIC sends every query vector to
+  // each active host, so the wire time scales with the fan-out (hosts that
+  // own no clusters are skipped — there is nothing for them to scan).
+  const double per_host_query_bytes =
       static_cast<double>(nq) * static_cast<double>(queries.dim) * 4.0;
-  report.network_seconds +=
-      options_.network_latency +
-      bcast_bytes / options_.network_bandwidth;  // pipelined to all hosts
+  const double bcast_bytes =
+      static_cast<double>(n_active_) * per_host_query_bytes;
+  report.broadcast_seconds =
+      options_.network_latency + bcast_bytes / options_.network_bandwidth;
+
+  // Every active host returns k results per query.
+  const double per_host_result_bytes =
+      static_cast<double>(nq) * static_cast<double>(k) * 8.0;
+  const double gather_bytes =
+      static_cast<double>(n_active_) * per_host_result_bytes;
+  report.gather_seconds =
+      options_.network_latency + gather_bytes / options_.network_bandwidth;
+  report.network_seconds = report.broadcast_seconds + report.gather_seconds;
 
   std::vector<std::vector<std::vector<common::Neighbor>>> per_host_results;
   per_host_results.reserve(engines_.size());
+  report.host_times.reserve(engines_.size());
+  report.host_slots.reserve(engines_.size());
   for (auto& engine : engines_) {
+    MultiHostHostSlot slot;
+    if (engine == nullptr) {
+      slot.active = false;
+      report.host_times.emplace_back();
+      report.host_slots.push_back(slot);
+      per_host_results.emplace_back();
+      continue;
+    }
     auto r = engine->search_with_probes(queries, probes);
+    // The engine's report books its own copy of the shared coordinator
+    // filter as the first trace entry; strip it from the per-host share so
+    // the pass is charged once (coord_filter_seconds above), then split the
+    // remainder at the host/device boundary exactly like BatchPipeline.
+    double filter_seconds = 0;
+    for (const StageStep& step : r.trace) {
+      if (step.side != StageSide::kHost) break;
+      if (std::string_view(step.name) == "cluster-filter") {
+        filter_seconds += step.seconds;
+      }
+    }
+    const double prefix = leading_host_seconds(r);
+    slot.host_seconds = prefix - filter_seconds;
+    slot.device_seconds = r.times.total() - prefix;
+    slot.network_seconds = (per_host_query_bytes + per_host_result_bytes) /
+                           options_.network_bandwidth;
     report.slowest_host_seconds =
-        std::max(report.slowest_host_seconds, r.times.total());
+        std::max(report.slowest_host_seconds,
+                 slot.host_seconds + slot.device_seconds);
     report.host_times.push_back(r.times);
+    report.host_slots.push_back(slot);
     per_host_results.push_back(std::move(r.neighbors));
   }
 
-  // Gather: every host returns k results per query; coordinator merges.
-  const double gather_bytes = static_cast<double>(engines_.size()) *
-                              static_cast<double>(nq) *
-                              static_cast<double>(k) * 8.0;
-  report.network_seconds +=
-      options_.network_latency + gather_bytes / options_.network_bandwidth;
-
+  // Coordinator-side k-way merge across host lists, charged like the
+  // engine-local MergeStage (~lists * k heap ops per query).
+  double merge_ops = 0;
   report.neighbors.resize(nq);
   for (std::size_t q = 0; q < nq; ++q) {
     std::vector<std::vector<common::Neighbor>> lists;
-    lists.reserve(engines_.size());
-    for (auto& host : per_host_results) lists.push_back(std::move(host[q]));
+    lists.reserve(n_active_);
+    for (auto& host : per_host_results) {
+      if (host.empty()) continue;  // inactive host: nothing to merge
+      lists.push_back(std::move(host[q]));
+    }
+    merge_ops += static_cast<double>(lists.size()) *
+                 static_cast<double>(k) * 8.0;
     report.neighbors[q] = common::merge_sorted_topk(lists, k);
   }
+  report.coord_merge_seconds = merge_ops / hw::kCpuFlops;
 
-  report.seconds = report.slowest_host_seconds + report.network_seconds;
+  // Summed in pre / device / post order — the same association the pipeline
+  // timeline uses — so a one-batch overlapped run reproduces this value
+  // bit-for-bit.
+  const double pre = report.coord_filter_seconds + report.broadcast_seconds;
+  const double post = report.gather_seconds + report.coord_merge_seconds;
+  report.seconds = pre + report.slowest_host_seconds + post;
   report.qps = report.seconds > 0
                    ? static_cast<double>(nq) / report.seconds
                    : 0;
@@ -106,8 +206,11 @@ MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
     sink.count("multihost.gather_bytes",
                static_cast<std::uint64_t>(gather_bytes));
     sink.count("multihost.merge.lists",
-               static_cast<std::uint64_t>(engines_.size()) * nq);
+               static_cast<std::uint64_t>(n_active_) * nq);
+    sink.observe("multihost.broadcast_seconds", report.broadcast_seconds);
+    sink.observe("multihost.gather_seconds", report.gather_seconds);
     sink.observe("multihost.network_seconds", report.network_seconds);
+    sink.observe("multihost.coord_merge_seconds", report.coord_merge_seconds);
     sink.observe("multihost.batch.seconds", report.seconds);
     sink.set("multihost.slowest_host_seconds", report.slowest_host_seconds);
   }
@@ -116,7 +219,106 @@ MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
 
 void MultiHostUpAnns::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
-  for (auto& engine : engines_) engine->set_metrics(registry);
+  for (auto& engine : engines_) {
+    if (engine) engine->set_metrics(registry);
+  }
+}
+
+std::vector<MultiHostBatchWindows> multihost_timeline(
+    const MultiHostPipelineReport& report) {
+  std::vector<MultiHostBatchWindows> out;
+  out.reserve(report.slots.size());
+  if (!report.overlapped) {
+    double t = 0;
+    for (const MultiHostBatchSlot& slot : report.slots) {
+      MultiHostBatchWindows w;
+      w.pre_start = t;
+      w.pre_end = w.pre_start + slot.pre_seconds;
+      w.device_start = w.pre_end;
+      w.device_end = w.device_start + slot.device_seconds;
+      w.post_start = w.device_end;
+      w.post_end = w.post_start + slot.post_seconds;
+      t = w.post_end;
+      out.push_back(w);
+    }
+    return out;
+  }
+
+  // Two resources: the coordinator runs pre(0), pre(1), post(0), pre(2),
+  // post(1), ... (ready the next batch first, then merge the finished one);
+  // the host fleet runs device phases in batch order. device(i) additionally
+  // waits for pre(i), post(i) for device(i).
+  double coord_free = 0;
+  double device_free = 0;
+  for (std::size_t i = 0; i < report.slots.size(); ++i) {
+    MultiHostBatchWindows w;
+    w.pre_start = coord_free;
+    w.pre_end = w.pre_start + report.slots[i].pre_seconds;
+    coord_free = w.pre_end;
+    w.device_start = std::max(w.pre_end, device_free);
+    w.device_end = w.device_start + report.slots[i].device_seconds;
+    device_free = w.device_end;
+    out.push_back(w);
+    if (i >= 1) {
+      MultiHostBatchWindows& prev = out[i - 1];
+      prev.post_start = std::max(coord_free, prev.device_end);
+      prev.post_end = prev.post_start + report.slots[i - 1].post_seconds;
+      coord_free = prev.post_end;
+    }
+  }
+  if (!out.empty()) {
+    MultiHostBatchWindows& last = out.back();
+    last.post_start = std::max(coord_free, last.device_end);
+    last.post_end = last.post_start + report.slots.back().post_seconds;
+  }
+  return out;
+}
+
+MultiHostBatchPipeline::MultiHostBatchPipeline(MultiHostUpAnns& cluster,
+                                               MultiHostPipelineOptions opts)
+    : cluster_(cluster), opts_(opts) {}
+
+MultiHostPipelineReport MultiHostBatchPipeline::run(
+    const std::vector<data::Dataset>& batches) {
+  MultiHostPipelineReport out;
+  out.overlapped = opts_.overlap;
+
+  for (const data::Dataset& batch : batches) {
+    MultiHostBatchSlot slot;
+    slot.report = cluster_.search(batch);
+    slot.pre_seconds =
+        slot.report.coord_filter_seconds + slot.report.broadcast_seconds;
+    slot.device_seconds = slot.report.slowest_host_seconds;
+    slot.post_seconds =
+        slot.report.gather_seconds + slot.report.coord_merge_seconds;
+    out.n_queries += batch.n;
+    out.serial_seconds += slot.report.seconds;
+    out.slots.push_back(std::move(slot));
+  }
+
+  if (!opts_.overlap || out.slots.empty()) {
+    out.elapsed_seconds = out.serial_seconds;
+  } else {
+    out.elapsed_seconds = multihost_timeline(out).back().post_end;
+  }
+  out.qps = out.elapsed_seconds > 0
+                ? static_cast<double>(out.n_queries) / out.elapsed_seconds
+                : 0;
+
+  obs::MetricsSink sink(cluster_.metrics());
+  if (sink.enabled()) {
+    for (const MultiHostBatchSlot& slot : out.slots) {
+      sink.observe("multihost_pipeline.slot.pre_seconds", slot.pre_seconds);
+      sink.observe("multihost_pipeline.slot.device_seconds",
+                   slot.device_seconds);
+      sink.observe("multihost_pipeline.slot.post_seconds", slot.post_seconds);
+    }
+    sink.count("multihost_pipeline.runs");
+    sink.set("multihost_pipeline.overlap_saved_seconds",
+             out.serial_seconds - out.elapsed_seconds);
+    sink.set("multihost_pipeline.qps", out.qps);
+  }
+  return out;
 }
 
 }  // namespace upanns::core

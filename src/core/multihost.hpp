@@ -7,8 +7,26 @@
 // IVFPQ index (whole clusters never split — the same rule Opt1 applies to
 // DPUs). A batch is broadcast to every host, each host filters/schedules/
 // searches its own clusters on its own PIM DIMMs, and the coordinator merges
-// the per-host top-k lists. The network cost model charges the broadcast and
-// the gather; everything else is host-local.
+// the per-host top-k lists.
+//
+// Cost model (see DESIGN.md "Multi-host pipeline"):
+//   seconds = coord_filter + slowest_host + network + coord_merge
+// where coord_filter is the *one* coordinator-side cluster-filtering pass
+// (hosts share the coordinator's probe lists; their own engine reports still
+// book a filter stage, which the aggregation removes so it is charged once),
+// slowest_host is the largest per-host remainder (Alg-2 schedule + device
+// stages), network is the broadcast fan-out (the coordinator NIC serializes
+// one per-host payload *per host*) plus the gather of every host's top-k,
+// and coord_merge is the coordinator-side k-way merge across host lists.
+//
+// MultiHostBatchPipeline streams query batches through the cluster the same
+// way core::BatchPipeline streams them through one engine: the coordinator
+// phases of batch i (gather + inter-host merge) and of batch i+1 (filter +
+// broadcast) overlap the host fleet's schedule/device phase of the batch in
+// flight. Execution stays serial — overlap changes only the simulated time
+// accounting, so per-query neighbors are bit-identical with overlap on or
+// off, and --no-overlap reproduces the synchronous per-batch `seconds` sums
+// exactly.
 #pragma once
 
 #include <cstdint>
@@ -27,32 +45,68 @@ struct MultiHostOptions {
   double network_latency = 50e-6;   ///< per-message one-way latency
 };
 
+/// One host's share of a batch, under the coordinator's accounting.
+struct MultiHostHostSlot {
+  /// Leading host-side stages on this host *after* the shared coordinator
+  /// filter (i.e. the Alg-2 schedule prefix).
+  double host_seconds = 0;
+  double device_seconds = 0;   ///< push + launch + gather + local merge
+  /// This host's payload share of broadcast + gather (no per-message
+  /// latency; the per-transfer latencies live in the batch-level fields).
+  double network_seconds = 0;
+  bool active = true;          ///< false for hosts that own no clusters
+};
+
 struct MultiHostReport {
   std::vector<std::vector<common::Neighbor>> neighbors;
   double seconds = 0;               ///< simulated batch wall time
   double qps = 0;
   double network_seconds = 0;       ///< broadcast + gather share
+  double broadcast_seconds = 0;     ///< coordinator NIC fan-out, all hosts
+  double gather_seconds = 0;        ///< per-host top-k readback
+  double coord_filter_seconds = 0;  ///< one coordinator filtering pass
+  double coord_merge_seconds = 0;   ///< coordinator k-way inter-host merge
+  /// Largest per-host remainder (schedule + device stages); the shared
+  /// coordinator filter is accounted once in coord_filter_seconds, never
+  /// per host.
   double slowest_host_seconds = 0;
   std::vector<baselines::StageTimes> host_times;
+  std::vector<MultiHostHostSlot> host_slots;
 };
 
 class MultiHostUpAnns {
  public:
   /// Shard the index's clusters across hosts (largest-first onto the
-  /// least-loaded host, by workload) and build one engine per host.
+  /// least-loaded host, by workload) and build one engine per host. Hosts
+  /// that end up owning no clusters (n_hosts > n_clusters) get no engine;
+  /// they contribute empty lists and zero time to every search.
   MultiHostUpAnns(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
                   MultiHostOptions options);
 
   std::size_t n_hosts() const { return engines_.size(); }
-  /// Which host owns a cluster.
-  std::uint32_t host_of(std::size_t cluster) const { return owner_[cluster]; }
-  UpAnnsEngine& host_engine(std::size_t h) { return *engines_[h]; }
+  /// Hosts that own at least one cluster (and therefore run an engine).
+  std::size_t n_active_hosts() const { return n_active_; }
+  bool host_active(std::size_t h) const { return engines_[h] != nullptr; }
+  /// Which host owns a cluster. Throws std::out_of_range on an invalid
+  /// cluster index.
+  std::uint32_t host_of(std::size_t cluster) const;
+  /// Valid only for active hosts (throws std::logic_error otherwise).
+  UpAnnsEngine& host_engine(std::size_t h);
+
+  const MultiHostOptions& options() const { return options_; }
 
   MultiHostReport search(const data::Dataset& queries);
+  /// Search with externally computed probe lists (skips the coordinator
+  /// filtering pass's computation but still charges its simulated time,
+  /// exactly like UpAnnsEngine::search_with_probes).
+  MultiHostReport search_with_probes(
+      const data::Dataset& queries,
+      const std::vector<std::vector<std::uint32_t>>& probes);
 
   /// Attach a registry to the coordinator (broadcast/gather bytes, network
   /// seconds, inter-host merge size) and to every per-host engine.
   void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   const ivf::IvfIndex& index_;
@@ -60,6 +114,70 @@ class MultiHostUpAnns {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::uint32_t> owner_;
   std::vector<std::unique_ptr<UpAnnsEngine>> engines_;
+  std::size_t n_active_ = 0;
+};
+
+struct MultiHostPipelineOptions {
+  /// Overlap the coordinator phases with the host fleet's device phase.
+  /// False reproduces the synchronous per-batch totals exactly (CLI
+  /// --no-overlap).
+  bool overlap = true;
+};
+
+/// One scheduled batch in a multi-host pipeline run. The three phases
+/// always sum to report.seconds:
+///   pre    coordinator filter + broadcast fan-out
+///   device slowest host's schedule + device remainder
+///   post   gather + coordinator inter-host merge
+struct MultiHostBatchSlot {
+  double pre_seconds = 0;
+  double device_seconds = 0;
+  double post_seconds = 0;
+  MultiHostReport report;
+};
+
+struct MultiHostPipelineReport {
+  std::vector<MultiHostBatchSlot> slots;
+  double serial_seconds = 0;   ///< sum of per-batch totals (no-overlap time)
+  double elapsed_seconds = 0;  ///< simulated end-to-end time of this run
+  bool overlapped = true;
+  std::size_t n_queries = 0;
+  double qps = 0;              ///< n_queries / elapsed_seconds
+};
+
+/// Simulated-time windows of one batch on the coordinator and host-fleet
+/// lanes, under the pipeline's accounting (used by the Perfetto exporter
+/// and by elapsed_seconds itself, so the two can never drift).
+struct MultiHostBatchWindows {
+  double pre_start = 0, pre_end = 0;        ///< coordinator lane
+  double device_start = 0, device_end = 0;  ///< host-fleet lanes
+  double post_start = 0, post_end = 0;      ///< coordinator lane
+};
+
+/// Lay every batch out under the two-resource model: the coordinator is one
+/// serial resource running pre(0), pre(1), post(0), pre(2), post(1), ...;
+/// the host fleet is the other, running device phases in batch order. Each
+/// phase additionally waits for its input: device(i) needs pre(i), post(i)
+/// needs device(i). The last window's post_end equals
+/// MultiHostPipelineReport::elapsed_seconds bit-for-bit. Serial runs lay
+/// the three phases of every batch back to back instead.
+std::vector<MultiHostBatchWindows> multihost_timeline(
+    const MultiHostPipelineReport& report);
+
+/// Streams query batches through a MultiHostUpAnns cluster with the
+/// double-buffered accounting described in the file comment. Execution
+/// itself stays serial, so per-query neighbors are bit-identical with
+/// overlap on or off.
+class MultiHostBatchPipeline {
+ public:
+  explicit MultiHostBatchPipeline(MultiHostUpAnns& cluster,
+                                  MultiHostPipelineOptions opts = {});
+
+  MultiHostPipelineReport run(const std::vector<data::Dataset>& batches);
+
+ private:
+  MultiHostUpAnns& cluster_;
+  MultiHostPipelineOptions opts_;
 };
 
 }  // namespace upanns::core

@@ -326,6 +326,15 @@ SearchReport UpAnnsEngine::search_with_probes(
   return QueryPipeline(*this).run(queries, &probes);
 }
 
+double leading_host_seconds(const SearchReport& report) {
+  double seconds = 0;
+  for (const StageStep& step : report.trace) {
+    if (step.side != StageSide::kHost) break;
+    seconds += step.seconds;
+  }
+  return seconds;
+}
+
 BatchPipeline::BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts)
     : engine_(engine), opts_(opts) {}
 
@@ -342,10 +351,7 @@ BatchPipelineReport BatchPipeline::run(
     // Host prefix = the leading kHost trace entries (filter + schedule);
     // the device phase is the exact remainder of the batch total, so
     // host + device always reproduces times.total() bit-for-bit.
-    for (const StageStep& step : slot.report.trace) {
-      if (step.side != StageSide::kHost) break;
-      slot.host_seconds += step.seconds;
-    }
+    slot.host_seconds = leading_host_seconds(slot.report);
     slot.device_seconds =
         slot.report.times.total() - slot.host_seconds;
 

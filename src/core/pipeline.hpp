@@ -154,6 +154,12 @@ struct BatchPipelineReport {
   double qps = 0;              ///< n_queries / elapsed_seconds
 };
 
+/// Sum of the leading StageSide::kHost trace entries of a report — the host
+/// prefix (filter + schedule) that the batch pipelines overlap with the
+/// previous batch's device phase. Shared by BatchPipeline and the
+/// multi-host per-host accounting (core/multihost.cpp).
+double leading_host_seconds(const SearchReport& report);
+
 /// Streams query batches through the engine with double-buffered time
 /// accounting (see file comment). Execution itself stays serial, so
 /// per-query neighbors are bit-identical with overlap on or off.

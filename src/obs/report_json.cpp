@@ -96,9 +96,45 @@ void append_multi_host_report(JsonWriter& w, const core::MultiHostReport& r) {
   w.kv("seconds", r.seconds);
   w.kv("qps", r.qps);
   w.kv("network_seconds", r.network_seconds);
+  w.kv("broadcast_seconds", r.broadcast_seconds);
+  w.kv("gather_seconds", r.gather_seconds);
+  w.kv("coord_filter_seconds", r.coord_filter_seconds);
+  w.kv("coord_merge_seconds", r.coord_merge_seconds);
   w.kv("slowest_host_seconds", r.slowest_host_seconds);
   w.key("host_times").begin_array();
   for (const auto& t : r.host_times) append_stage_times(w, t);
+  w.end_array();
+  w.key("host_slots").begin_array();
+  for (const core::MultiHostHostSlot& s : r.host_slots) {
+    w.begin_object()
+        .kv("active", s.active)
+        .kv("host_seconds", s.host_seconds)
+        .kv("device_seconds", s.device_seconds)
+        .kv("network_seconds", s.network_seconds)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void append_multi_host_pipeline_report(JsonWriter& w,
+                                       const core::MultiHostPipelineReport& r) {
+  w.begin_object();
+  w.kv("overlapped", r.overlapped);
+  w.kv("n_queries", r.n_queries);
+  w.kv("qps", r.qps);
+  w.kv("serial_seconds", r.serial_seconds);
+  w.kv("elapsed_seconds", r.elapsed_seconds);
+  w.key("slots").begin_array();
+  for (const core::MultiHostBatchSlot& slot : r.slots) {
+    w.begin_object();
+    w.kv("pre_seconds", slot.pre_seconds);
+    w.kv("device_seconds", slot.device_seconds);
+    w.kv("post_seconds", slot.post_seconds);
+    w.key("report");
+    append_multi_host_report(w, slot.report);
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
 }
@@ -161,6 +197,9 @@ std::string batch_pipeline_json(const core::BatchPipelineReport& r) {
 }
 std::string multi_host_report_json(const core::MultiHostReport& r) {
   return render(r, append_multi_host_report);
+}
+std::string multi_host_pipeline_json(const core::MultiHostPipelineReport& r) {
+  return render(r, append_multi_host_pipeline_report);
 }
 std::string snapshot_json(const MetricsSnapshot& s) {
   return render(s, append_snapshot);

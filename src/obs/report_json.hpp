@@ -22,6 +22,8 @@ void append_search_report(JsonWriter& w, const core::SearchReport& r);
 void append_batch_pipeline_report(JsonWriter& w,
                                   const core::BatchPipelineReport& r);
 void append_multi_host_report(JsonWriter& w, const core::MultiHostReport& r);
+void append_multi_host_pipeline_report(JsonWriter& w,
+                                       const core::MultiHostPipelineReport& r);
 void append_snapshot(JsonWriter& w, const MetricsSnapshot& s);
 
 std::string stage_times_json(const baselines::StageTimes& t);
@@ -29,6 +31,7 @@ std::string pim_extras_json(const core::PimExtras& px);
 std::string search_report_json(const core::SearchReport& r);
 std::string batch_pipeline_json(const core::BatchPipelineReport& r);
 std::string multi_host_report_json(const core::MultiHostReport& r);
+std::string multi_host_pipeline_json(const core::MultiHostPipelineReport& r);
 std::string snapshot_json(const MetricsSnapshot& s);
 
 }  // namespace upanns::obs

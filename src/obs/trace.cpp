@@ -130,6 +130,57 @@ std::string trace_json(const PipelineTrace& trace) {
   return w.take();
 }
 
+PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
+  PipelineTrace t;
+  t.lanes.emplace_back(0, "coordinator");
+  t.lanes.emplace_back(1, "network");
+  std::size_t max_host_lane = 0;
+
+  const std::vector<core::MultiHostBatchWindows> windows =
+      core::multihost_timeline(report);
+  for (std::size_t b = 0; b < report.slots.size(); ++b) {
+    const core::MultiHostReport& r = report.slots[b].report;
+    const core::MultiHostBatchWindows& w = windows[b];
+
+    t.slices.push_back({"cluster-filter", "host", 0, w.pre_start,
+                        r.coord_filter_seconds, b});
+    t.slices.push_back({"broadcast", "network", 1,
+                        w.pre_start + r.coord_filter_seconds,
+                        r.broadcast_seconds, b});
+    for (std::size_t h = 0; h < r.host_slots.size(); ++h) {
+      const core::MultiHostHostSlot& s = r.host_slots[h];
+      if (!s.active) continue;
+      const int lane = static_cast<int>(2 + h);
+      if (s.host_seconds > 0) {
+        t.slices.push_back({"alg2-schedule", "host", lane, w.device_start,
+                            s.host_seconds, b});
+      }
+      if (s.device_seconds > 0) {
+        t.slices.push_back({"device-phase", "device", lane,
+                            w.device_start + s.host_seconds,
+                            s.device_seconds, b});
+      }
+      max_host_lane = std::max(max_host_lane, h);
+    }
+    t.slices.push_back(
+        {"gather", "network", 1, w.post_start, r.gather_seconds, b});
+    t.slices.push_back({"interhost-merge", "host", 0,
+                        w.post_start + r.gather_seconds,
+                        r.coord_merge_seconds, b});
+  }
+
+  for (std::size_t h = 0; h <= max_host_lane; ++h) {
+    t.lanes.emplace_back(static_cast<int>(2 + h),
+                         "host-" + std::to_string(h));
+  }
+  return t;
+}
+
+void write_multihost_trace_file(const std::string& path,
+                                const core::MultiHostPipelineReport& report) {
+  write_text_file(path, trace_json(multihost_trace(report)));
+}
+
 void write_text_file(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) throw std::runtime_error("cannot open " + path + " for writing");

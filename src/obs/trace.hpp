@@ -18,11 +18,20 @@
 //
 // Load the file at ui.perfetto.dev (or chrome://tracing): batch i+1's host
 // slices visibly overlap batch i's device slices.
+// Multi-host runs (core::MultiHostBatchPipeline) export through the same
+// slice/lane machinery with a different lane map:
+//   tid 0          coordinator — cluster-filter + interhost-merge per batch
+//   tid 1          network     — broadcast / gather fan-out transfers
+//   tid 2+h        host-<h>    — that host's schedule + device phase
+// The windows come from core::multihost_timeline, the exact recurrence the
+// pipeline's elapsed_seconds uses, so the last merge slice ends at
+// elapsed_seconds for overlapped runs.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/multihost.hpp"
 #include "core/pipeline.hpp"
 
 namespace upanns::obs {
@@ -69,6 +78,16 @@ std::string trace_json(const PipelineTrace& trace);
 /// when the file cannot be written).
 void write_trace_file(const std::string& path,
                       const core::BatchPipelineReport& report);
+
+/// Build the multi-host slice set (see file comment): per batch, the
+/// coordinator filter and inter-host merge on the coordinator lane, the
+/// broadcast/gather fan-out on the network lane, and one schedule + one
+/// device slice per active host on that host's lane.
+PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report);
+
+/// multihost_trace + trace_json + write to `path`.
+void write_multihost_trace_file(const std::string& path,
+                                const core::MultiHostPipelineReport& report);
 
 /// Write `content` to `path` (throws std::runtime_error on failure).
 void write_text_file(const std::string& path, const std::string& content);

@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
+#include "core/multihost.hpp"
 #include "core/pipeline.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
@@ -273,6 +274,16 @@ struct Fixture {
     core::BatchPipeline pipeline(engine, {.overlap = overlap});
     return pipeline.run(core::split_batches(wl.queries, 16));
   }
+
+  /// A fresh 3-batch multi-host run over a 3-host cluster.
+  core::MultiHostPipelineReport multihost_batches(bool overlap = true) {
+    core::MultiHostOptions opts;
+    opts.n_hosts = 3;
+    opts.per_host = options();
+    core::MultiHostUpAnns cluster(index, stats, opts);
+    core::MultiHostBatchPipeline pipeline(cluster, {.overlap = overlap});
+    return pipeline.run(core::split_batches(wl.queries, 16));
+  }
 };
 
 Fixture& fixture() {
@@ -398,6 +409,83 @@ TEST(Trace, PerfettoJsonIsValidAndCompletelyLabelled) {
   EXPECT_EQ(lane_names[1.0], "device");
   // 6 stages x 3 batches on the host/device lanes, plus >= 1 DPU slice.
   EXPECT_GT(trace.slices.size(), 18u);
+}
+
+TEST(Trace, MultiHostTraceCoversEveryPhaseOnNamedLanes) {
+  // The multi-host exporter lays coordinator work on lane 0, the network on
+  // lane 1, and each active host on lane 2+h; slice durations reconstruct
+  // the per-batch phase split, and the last coordinator slice ends at
+  // elapsed_seconds bit-for-bit (both come from core::multihost_timeline).
+  auto& f = fixture();
+  const auto run = f.multihost_batches();
+  ASSERT_EQ(run.slots.size(), 3u);
+  const PipelineTrace trace = multihost_trace(run);
+
+  std::map<int, std::string> lanes(trace.lanes.begin(), trace.lanes.end());
+  EXPECT_EQ(lanes.at(0), "coordinator");
+  EXPECT_EQ(lanes.at(1), "network");
+  EXPECT_EQ(lanes.at(2), "host-0");
+  ASSERT_EQ(lanes.size(), 5u);  // coordinator + network + 3 hosts
+
+  double last_end = 0;
+  std::vector<double> coord(run.slots.size(), 0.0);
+  std::vector<double> net(run.slots.size(), 0.0);
+  for (const TraceSlice& s : trace.slices) {
+    EXPECT_TRUE(lanes.count(s.lane)) << s.name;
+    if (s.lane == 0) coord[s.batch] += s.duration_seconds;
+    if (s.lane == 1) net[s.batch] += s.duration_seconds;
+    last_end = std::max(last_end, s.start_seconds + s.duration_seconds);
+  }
+  for (std::size_t b = 0; b < run.slots.size(); ++b) {
+    const auto& r = run.slots[b].report;
+    EXPECT_DOUBLE_EQ(coord[b], r.coord_filter_seconds + r.coord_merge_seconds);
+    EXPECT_DOUBLE_EQ(net[b], r.broadcast_seconds + r.gather_seconds);
+  }
+  // Slice ends re-associate (start + gather) + merge, so compare to a few
+  // ulps; the timeline itself is the bit-exact source of elapsed_seconds.
+  EXPECT_DOUBLE_EQ(last_end, run.elapsed_seconds);
+  EXPECT_EQ(core::multihost_timeline(run).back().post_end,
+            run.elapsed_seconds);
+
+  const JsonValue doc = json_parse(trace_json(trace));
+  EXPECT_EQ(doc.at("traceEvents").array.size(),
+            trace.slices.size() + trace.lanes.size() + 1);
+}
+
+TEST(ReportJson, MultiHostPipelineReportRoundTripsBitExact) {
+  auto& f = fixture();
+  const auto run = f.multihost_batches();
+  const JsonValue v = json_parse(multi_host_pipeline_json(run));
+  auto bits_eq = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof a) == 0;
+  };
+  EXPECT_TRUE(v.at("overlapped").boolean);
+  EXPECT_TRUE(bits_eq(v.at("elapsed_seconds").number, run.elapsed_seconds));
+  EXPECT_TRUE(bits_eq(v.at("serial_seconds").number, run.serial_seconds));
+  ASSERT_EQ(v.at("slots").array.size(), run.slots.size());
+  for (std::size_t i = 0; i < run.slots.size(); ++i) {
+    const JsonValue& slot = v.at("slots").at(i);
+    EXPECT_TRUE(
+        bits_eq(slot.at("pre_seconds").number, run.slots[i].pre_seconds));
+    EXPECT_TRUE(
+        bits_eq(slot.at("device_seconds").number, run.slots[i].device_seconds));
+    EXPECT_TRUE(
+        bits_eq(slot.at("post_seconds").number, run.slots[i].post_seconds));
+    const JsonValue& r = slot.at("report");
+    const auto& mh = run.slots[i].report;
+    EXPECT_TRUE(bits_eq(r.at("seconds").number, mh.seconds));
+    EXPECT_TRUE(bits_eq(r.at("broadcast_seconds").number,
+                        mh.broadcast_seconds));
+    EXPECT_TRUE(
+        bits_eq(r.at("coord_merge_seconds").number, mh.coord_merge_seconds));
+    ASSERT_EQ(r.at("host_slots").array.size(), mh.host_slots.size());
+    for (std::size_t h = 0; h < mh.host_slots.size(); ++h) {
+      const JsonValue& hs = r.at("host_slots").at(h);
+      EXPECT_EQ(hs.at("active").boolean, mh.host_slots[h].active);
+      EXPECT_TRUE(bits_eq(hs.at("device_seconds").number,
+                          mh.host_slots[h].device_seconds));
+    }
+  }
 }
 
 TEST(ReportJson, SearchReportRoundTripsBitExact) {

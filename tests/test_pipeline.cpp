@@ -72,6 +72,55 @@ TEST(SplitBatches, CoversAllQueriesInOrder) {
   EXPECT_THROW(split_batches(f.wl.queries, 0), std::invalid_argument);
 }
 
+TEST(SplitBatches, BatchLargerThanInputYieldsOneFullBatch) {
+  auto& f = fixture();
+  const auto batches = split_batches(f.wl.queries, f.wl.queries.n + 100);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].n, f.wl.queries.n);
+  EXPECT_EQ(batches[0].dim, f.wl.queries.dim);
+  EXPECT_EQ(batches[0].values, f.wl.queries.values);
+}
+
+TEST(SplitBatches, SingleQueryBatches) {
+  auto& f = fixture();
+  const auto batches = split_batches(f.wl.queries, 1);
+  ASSERT_EQ(batches.size(), f.wl.queries.n);
+  for (std::size_t q = 0; q < batches.size(); ++q) {
+    ASSERT_EQ(batches[q].n, 1u);
+    for (std::size_t d = 0; d < batches[q].dim; ++d) {
+      ASSERT_EQ(batches[q].row(0)[d], f.wl.queries.row(q)[d]);
+    }
+  }
+}
+
+TEST(SplitBatches, ExactMultipleLeavesNoShortBatch) {
+  auto& f = fixture();
+  ASSERT_EQ(f.wl.queries.n % 16, 0u);
+  const auto batches = split_batches(f.wl.queries, 16);
+  ASSERT_EQ(batches.size(), f.wl.queries.n / 16);
+  for (const auto& b : batches) EXPECT_EQ(b.n, 16u);
+}
+
+TEST(SplitBatches, EmptyInputYieldsNoBatches) {
+  data::Dataset empty;
+  empty.dim = 8;
+  EXPECT_TRUE(split_batches(empty, 4).empty());
+}
+
+TEST(Pipeline, EmptyBatchListIsANoOp) {
+  auto& f = fixture();
+  UpAnnsEngine engine(f.index, f.stats, f.options());
+  for (const bool overlap : {false, true}) {
+    BatchPipeline pipeline(engine, {.overlap = overlap});
+    const auto run = pipeline.run({});
+    EXPECT_TRUE(run.slots.empty());
+    EXPECT_EQ(run.n_queries, 0u);
+    EXPECT_DOUBLE_EQ(run.serial_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(run.elapsed_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(run.qps, 0.0);
+  }
+}
+
 TEST(Pipeline, NoOverlapEqualsSerialStageSums) {
   // The --no-overlap mode must reproduce exactly what running each batch
   // through UpAnnsEngine::search serially reports.
