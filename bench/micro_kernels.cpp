@@ -7,11 +7,13 @@
 #include "common/rng.hpp"
 #include "common/topk.hpp"
 #include "core/cae.hpp"
+#include "core/dpu_kernel.hpp"
 #include "core/placement.hpp"
 #include "core/scheduler.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
 #include "pim/cost_model.hpp"
+#include "pim/dpu.hpp"
 #include "quant/pq.hpp"
 
 namespace {
@@ -144,6 +146,146 @@ void BM_CaeEncode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CaeEncode)->Arg(1024)->Arg(8192);
+
+// --- Arena-backed QueryKernel scans: a hand-built single-cluster MRAM
+// image driven through Dpu::run. The first iteration warms the scratch
+// arena and launch-object pools; steady state measures the allocation-free
+// hot path end to end (views + scratch + reused heaps).
+struct KernelImage {
+  static constexpr std::size_t kDim = 128;
+  static constexpr std::size_t kM = 16;
+  static constexpr std::size_t kDsub = 8;
+  static constexpr std::size_t kK = 10;
+
+  pim::Dpu dpu{0};
+  core::DpuStaticLayout layout;
+  core::DpuLaunchInput input;
+
+  KernelImage(core::KernelMode mode, std::size_t n_records) {
+    common::Rng rng(17);
+    layout.dim = kDim;
+    layout.m = kM;
+    layout.dsub = kDsub;
+    layout.codebook_off = dpu.mram_alloc(kM * 256 * kDsub, "codebook");
+    for (std::size_t i = 0; i < kM * 256 * kDsub; ++i) {
+      const auto v = static_cast<std::int8_t>(
+          static_cast<int>(rng.below(255)) - 127);
+      dpu.host_write(layout.codebook_off + i, &v, 1);
+    }
+    layout.cb_scale_off = dpu.mram_alloc(kM * sizeof(float), "scales");
+    for (std::size_t s = 0; s < kM; ++s) {
+      const float scale = 0.02f;
+      dpu.host_write(layout.cb_scale_off + s * sizeof(float), &scale,
+                     sizeof(scale));
+    }
+
+    core::DpuClusterData cl;
+    cl.n_records = static_cast<std::uint32_t>(n_records);
+    cl.ids_off = dpu.mram_alloc(n_records * sizeof(std::uint32_t), "ids");
+    for (std::uint32_t i = 0; i < n_records; ++i) {
+      dpu.host_write(cl.ids_off + i * sizeof(std::uint32_t), &i, sizeof(i));
+    }
+    if (mode == core::KernelMode::kNaiveRaw) {
+      cl.stream_len = n_records * kM;  // u8 codes, element == byte
+      cl.stream_off = dpu.mram_alloc(cl.stream_len, "codes");
+      for (std::size_t i = 0; i < cl.stream_len; ++i) {
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        dpu.host_write(cl.stream_off + i, &c, 1);
+      }
+    } else {
+      // Direct-token records: u16 length prefix + kM tokens each.
+      std::vector<std::uint16_t> stream;
+      std::vector<std::uint32_t> chunk_index;
+      for (std::size_t r = 0; r < n_records; ++r) {
+        if (r % core::kChunkRecords == 0) {
+          chunk_index.push_back(static_cast<std::uint32_t>(stream.size()));
+        }
+        stream.push_back(kM);
+        for (std::size_t pos = 0; pos < kM; ++pos) {
+          stream.push_back(
+              static_cast<std::uint16_t>(pos * 256 + rng.below(256)));
+        }
+      }
+      cl.stream_len = stream.size();
+      cl.stream_off =
+          dpu.mram_alloc(stream.size() * sizeof(std::uint16_t), "stream");
+      dpu.host_write(cl.stream_off, stream.data(),
+                     stream.size() * sizeof(std::uint16_t));
+      cl.n_chunks = static_cast<std::uint32_t>(chunk_index.size());
+      cl.chunk_index_off = dpu.mram_alloc(
+          chunk_index.size() * sizeof(std::uint32_t), "chunk-index");
+      dpu.host_write(cl.chunk_index_off, chunk_index.data(),
+                     chunk_index.size() * sizeof(std::uint32_t));
+    }
+    cl.centroid_off = dpu.mram_alloc(kDim * sizeof(float), "centroid");
+    layout.clusters.push_back(cl);
+
+    input.k = kK;
+    input.queries_off = dpu.mram_alloc(kDim * sizeof(float), "query");
+    const auto q = random_vecs(1, kDim, 23);
+    dpu.host_write(input.queries_off, q.data(), kDim * sizeof(float));
+    input.results_off = dpu.mram_alloc(kK * 8, "results");
+    input.n_queries = 1;
+    input.items.push_back({0, 0});
+  }
+};
+
+void run_kernel_scan(benchmark::State& state, core::KernelMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  KernelImage img(mode, n);
+  core::QueryKernel kernel(img.layout, img.input, mode, true);
+  for (auto _ : state) {
+    const pim::DpuRunStats stats = img.dpu.run(kernel, 11);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_AdcScanTokens(benchmark::State& state) {
+  run_kernel_scan(state, core::KernelMode::kDirectTokens);
+}
+BENCHMARK(BM_AdcScanTokens)->Arg(1024)->Arg(8192);
+
+void BM_AdcScanRaw(benchmark::State& state) {
+  run_kernel_scan(state, core::KernelMode::kNaiveRaw);
+}
+BENCHMARK(BM_AdcScanRaw)->Arg(1024)->Arg(8192);
+
+// The S5 merge pattern in isolation: refill per-tasklet heaps, extract them
+// min-first into a reused buffer (take_sorted_into keeps every capacity),
+// then prune-merge into the DPU-global heap.
+void BM_HeapMergePruned(benchmark::State& state) {
+  constexpr std::size_t kTasklets = 11;
+  constexpr std::size_t kK = 10;
+  constexpr std::size_t kPerTasklet = 64;
+  common::Rng rng(31);
+  std::vector<float> dists(kTasklets * kPerTasklet);
+  for (auto& d : dists) d = rng.uniform(0.f, 1.f);
+
+  std::vector<common::BoundedMaxHeap> locals;
+  for (std::size_t t = 0; t < kTasklets; ++t) locals.emplace_back(kK);
+  common::BoundedMaxHeap global(kK);
+  std::vector<common::Neighbor> sorted;
+
+  for (auto _ : state) {
+    global.clear();
+    for (std::size_t t = 0; t < kTasklets; ++t) {
+      for (std::size_t i = 0; i < kPerTasklet; ++i) {
+        locals[t].push(dists[t * kPerTasklet + i],
+                       static_cast<std::uint32_t>(i));
+      }
+      locals[t].take_sorted_into(sorted);
+      for (const common::Neighbor& nb : sorted) {
+        if (global.full() && !(nb < global.worst())) break;
+        global.push(nb);
+      }
+    }
+    benchmark::DoNotOptimize(global);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dists.size()));
+}
+BENCHMARK(BM_HeapMergePruned);
 
 void BM_MramLatencyModel(benchmark::State& state) {
   for (auto _ : state) {

@@ -77,6 +77,16 @@ class BoundedMaxHeap {
     return std::exchange(data_, {});
   }
 
+  /// Destructively extract into a caller-owned buffer (ascending order).
+  /// Unlike take_sorted(), both the heap's storage and `out` keep their
+  /// capacity, so repeated extract/refill cycles allocate nothing once
+  /// warm — the DPU-kernel merge stage depends on this.
+  void take_sorted_into(std::vector<Neighbor>& out) {
+    std::sort_heap(data_.begin(), data_.end());
+    out.assign(data_.begin(), data_.end());
+    data_.clear();
+  }
+
   /// Non-destructive sorted copy.
   std::vector<Neighbor> sorted() const {
     std::vector<Neighbor> out = data_;

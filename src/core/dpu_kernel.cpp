@@ -1,9 +1,14 @@
 #include "core/dpu_kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace upanns::core {
 
@@ -28,19 +33,41 @@ std::uint64_t heap_push_cost(std::size_t k) {
   return 2 * lg + 4;
 }
 
+std::atomic<std::uint64_t> g_hot_path_allocations{0};
+
 }  // namespace
+
+std::uint64_t hot_path_allocations() {
+  return g_hot_path_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_hot_path_allocation() {
+  g_hot_path_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 QueryKernel::QueryKernel(const DpuStaticLayout& layout,
                          const DpuLaunchInput& input, KernelMode mode,
                          bool prune_topk)
     : layout_(layout),
-      input_(input),
+      input_(&input),
       mode_(mode),
       prune_topk_(prune_topk),
       global_heap_(input.k) {
-  // Build the phase program: items arrive grouped by query; each item gets
-  // the per-cluster stages, and each query closes with one merge phase.
-  for (std::uint32_t i = 0; i < input_.items.size(); ++i) {
+  // Constructing a kernel (LaunchStage pool growth) is a hot-path
+  // allocation event; a warm serving loop rebinds instead.
+  detail::note_hot_path_allocation();
+  rebind(input);
+}
+
+void QueryKernel::rebind(const DpuLaunchInput& input) {
+  input_ = &input;
+  // Rebuild the phase program in place: items arrive grouped by query; each
+  // item gets the per-cluster stages, and each query closes with one merge
+  // phase. program_ keeps its capacity across batches.
+  program_.clear();
+  for (std::uint32_t i = 0; i < input_->items.size(); ++i) {
     program_.push_back({Step::kLutBuild, i});
     program_.push_back({Step::kLutReduce, i});
     program_.push_back({Step::kLutQuantize, i});
@@ -49,8 +76,8 @@ QueryKernel::QueryKernel(const DpuStaticLayout& layout,
     }
     program_.push_back({Step::kDistance, i});
     const bool last_of_query =
-        i + 1 == input_.items.size() ||
-        input_.items[i + 1].query_local != input_.items[i].query_local;
+        i + 1 == input_->items.size() ||
+        input_->items[i + 1].query_local != input_->items[i].query_local;
     if (last_of_query) {
       program_.push_back({Step::kMerge, i});
     }
@@ -63,7 +90,7 @@ void QueryKernel::setup(pim::Dpu& dpu, unsigned n_tasklets) {
   wram.reset();
 
   const std::size_t m = layout_.m;
-  const std::size_t k = input_.k;
+  const std::size_t k = input_->k;
 
   // Fixed-region layout (paper Fig 6). Heaps and the partial-sum cache live
   // below the LUT; the codebook is last so it can be rewound and reused as
@@ -72,7 +99,7 @@ void QueryKernel::setup(pim::Dpu& dpu, unsigned n_tasklets) {
   wram.alloc(heap_bytes, "topk-heaps");
 
   std::uint32_t max_combos = 0;
-  for (const auto& item : input_.items) {
+  for (const auto& item : input_->items) {
     max_combos = std::max(max_combos,
                           layout_.clusters[item.cluster_slot].n_combos);
   }
@@ -105,15 +132,39 @@ void QueryKernel::setup(pim::Dpu& dpu, unsigned n_tasklets) {
     wram.alloc(m * 256 * layout_.dsub, "codebook");
   }
 
-  // Functional mirrors.
-  lut_f32_.assign(m * 256, 0.f);
-  lut_u16_.assign(m * 256, 0);
-  combo_sums_.assign(max_combos, 0);
-  residual_.assign(layout_.dim, 0.f);
-  tasklet_max_.assign(n_tasklets, 0.f);
-  local_heaps_.clear();
-  for (unsigned t = 0; t < n_tasklets; ++t) local_heaps_.emplace_back(k);
-  global_heap_ = common::BoundedMaxHeap(k);
+  // Functional mirrors, reused from the scratch arena across launches.
+  KernelScratch::assign(scratch_.lut_f32, m * 256, 0.f);
+  KernelScratch::assign(scratch_.lut_u16, m * 256,
+                        static_cast<std::uint16_t>(0));
+  KernelScratch::assign(scratch_.combo_sums, max_combos,
+                        static_cast<std::uint32_t>(0));
+  KernelScratch::assign(scratch_.token_table, m * 256 + max_combos,
+                        static_cast<std::uint32_t>(0));
+  KernelScratch::assign(scratch_.residual, layout_.dim, 0.f);
+  KernelScratch::assign(scratch_.tasklet_max,
+                        static_cast<std::size_t>(n_tasklets), 0.f);
+  if (local_heaps_.size() != n_tasklets ||
+      (!local_heaps_.empty() && local_heaps_.front().capacity() != k)) {
+    detail::note_hot_path_allocation();
+    local_heaps_.clear();
+    local_heaps_.reserve(n_tasklets);
+    for (unsigned t = 0; t < n_tasklets; ++t) local_heaps_.emplace_back(k);
+  } else {
+    for (auto& h : local_heaps_) h.clear();
+  }
+  if (global_heap_.capacity() != k) {
+    detail::note_hot_path_allocation();
+    global_heap_ = common::BoundedMaxHeap(k);
+  } else {
+    global_heap_.clear();
+  }
+
+  // Per-launch statistics restart with every run — reused kernel objects
+  // must report exactly what a freshly constructed one would.
+  merge_insertions_ = 0;
+  merge_pruned_ = 0;
+  scanned_elements_ = 0;
+  scanned_records_ = 0;
 }
 
 unsigned QueryKernel::n_phases() const {
@@ -132,6 +183,65 @@ void QueryKernel::run_phase(unsigned phase, pim::TaskletCtx& ctx) {
   }
 }
 
+namespace {
+
+#if defined(__SSE2__)
+/// SSE2 LUT block for the dominant dsub == 8 shape: 8 codebook entries are
+/// 64 contiguous bytes, so an 8x8 byte transpose yields per-dimension
+/// columns and the 8 accumulation chains become two 4-lane vectors. Every
+/// lane performs the same IEEE mul/sub/add sequence, in the same order, as
+/// one entry of the scalar loop — results are bit-identical (there is no
+/// FMA contraction: SSE2 has no fused ops). local_max folds through
+/// max-vectors, which is order-insensitive for the non-NaN sums involved.
+inline void lut_block8_dsub8(const std::int8_t* entry, const float* res,
+                             const __m128 scale_v, float* out, __m128& max_lo,
+                             __m128& max_hi) {
+  const __m128i r01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry));
+  const __m128i r23 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 16));
+  const __m128i r45 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 32));
+  const __m128i r67 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 48));
+  // Transpose rows (one per entry) into columns (one per dimension).
+  const __m128i t0 = _mm_unpacklo_epi8(r01, _mm_srli_si128(r01, 8));
+  const __m128i t1 = _mm_unpacklo_epi8(r23, _mm_srli_si128(r23, 8));
+  const __m128i t2 = _mm_unpacklo_epi8(r45, _mm_srli_si128(r45, 8));
+  const __m128i t3 = _mm_unpacklo_epi8(r67, _mm_srli_si128(r67, 8));
+  const __m128i u0 = _mm_unpacklo_epi16(t0, t1);
+  const __m128i u1 = _mm_unpackhi_epi16(t0, t1);
+  const __m128i u2 = _mm_unpacklo_epi16(t2, t3);
+  const __m128i u3 = _mm_unpackhi_epi16(t2, t3);
+  const __m128i cols[4] = {
+      _mm_unpacklo_epi32(u0, u2), _mm_unpackhi_epi32(u0, u2),
+      _mm_unpacklo_epi32(u1, u3), _mm_unpackhi_epi32(u1, u3)};
+
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  for (std::size_t d = 0; d < 8; ++d) {
+    // cols[d/2] holds column d in its low 8 bytes, column d+1 in the high.
+    const __m128i col8 = (d & 1) ? _mm_srli_si128(cols[d / 2], 8) : cols[d / 2];
+    // Sign-extend 8 x s8 -> 2 x (4 x f32); exact for the s8 range.
+    const __m128i s16 = _mm_srai_epi16(_mm_unpacklo_epi8(col8, col8), 8);
+    const __m128 f_lo =
+        _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpacklo_epi16(s16, s16), 16));
+    const __m128 f_hi =
+        _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpackhi_epi16(s16, s16), 16));
+    const __m128 res_v = _mm_set1_ps(res[d]);
+    const __m128 d_lo = _mm_sub_ps(res_v, _mm_mul_ps(scale_v, f_lo));
+    const __m128 d_hi = _mm_sub_ps(res_v, _mm_mul_ps(scale_v, f_hi));
+    acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(d_lo, d_lo));
+    acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(d_hi, d_hi));
+  }
+  _mm_storeu_ps(out, acc_lo);
+  _mm_storeu_ps(out + 4, acc_hi);
+  max_lo = _mm_max_ps(max_lo, acc_lo);
+  max_hi = _mm_max_ps(max_hi, acc_hi);
+}
+#endif  // __SSE2__
+
+}  // namespace
+
 void QueryKernel::phase_lut_build(const Phase& p, pim::TaskletCtx& ctx) {
   const DpuClusterData& cl = cluster_of(p.item);
   const std::size_t dim = layout_.dim;
@@ -139,64 +249,125 @@ void QueryKernel::phase_lut_build(const Phase& p, pim::TaskletCtx& ctx) {
   const std::size_t m = layout_.m;
 
   // Tasklet 0 materializes the residual first (it is the first to run and
-  // the work is tiny relative to the LUT itself).
+  // the work is tiny relative to the LUT itself). Query and centroid are
+  // read-only, so borrowed MRAM views replace the staging copies.
   if (ctx.id() == 0) {
-    std::vector<float> query(dim), centroid(dim);
     const std::size_t q_off =
-        input_.queries_off +
-        static_cast<std::size_t>(input_.items[p.item].query_local) * dim *
+        input_->queries_off +
+        static_cast<std::size_t>(input_->items[p.item].query_local) * dim *
             sizeof(float);
-    ctx.mram_read(q_off, query.data(), dim * sizeof(float));
-    ctx.mram_read(cl.centroid_off, centroid.data(), dim * sizeof(float));
-    for (std::size_t d = 0; d < dim; ++d) residual_[d] = query[d] - centroid[d];
+    const float* query = ctx.mram_view_as<float>(q_off, dim * sizeof(float));
+    const float* centroid =
+        ctx.mram_view_as<float>(cl.centroid_off, dim * sizeof(float));
+    for (std::size_t d = 0; d < dim; ++d) {
+      scratch_.residual[d] = query[d] - centroid[d];
+    }
     ctx.instr(dim * kInstrResidualPerDim);
   }
 
-  // Tasklets split PQ subspaces; each streams its codebook segment from
-  // MRAM and fills 256 float LUT entries, tracking a local max.
-  std::vector<std::int8_t> cb_seg(256 * dsub);
-  std::vector<float> scales(m);
-  ctx.mram_read(layout_.cb_scale_off, scales.data(), m * sizeof(float));
+  // Tasklets split PQ subspaces; each views its codebook segment in MRAM
+  // (charged as the same MRAM->WRAM stream) and fills 256 float LUT
+  // entries, tracking a local max. Entries are processed 8 at a time: each
+  // entry's accumulation keeps its exact per-`c` operation order (so the
+  // result is bit-identical to the one-entry-at-a-time loop), but the eight
+  // chains are independent, which hides the FP add latency that otherwise
+  // serializes this — the single hottest loop in the whole simulator.
+  const float* scales =
+      ctx.mram_view_as<float>(layout_.cb_scale_off, m * sizeof(float));
   float local_max = 0.f;
+#if defined(__SSE2__)
+  __m128 max_lo = _mm_setzero_ps();
+  __m128 max_hi = _mm_setzero_ps();
+#endif
   for (std::size_t s = ctx.id(); s < m; s += ctx.n_tasklets()) {
-    ctx.mram_read(layout_.codebook_off + s * 256 * dsub, cb_seg.data(),
-                  256 * dsub);
+    const std::int8_t* cb_seg = ctx.mram_view_as<std::int8_t>(
+        layout_.codebook_off + s * 256 * dsub, 256 * dsub);
     const float scale = scales[s];
-    const float* res = residual_.data() + s * dsub;
-    for (std::size_t c = 0; c < 256; ++c) {
-      float acc = 0.f;
-      const std::int8_t* entry = cb_seg.data() + c * dsub;
-      for (std::size_t d = 0; d < dsub; ++d) {
-        const float diff = res[d] - scale * static_cast<float>(entry[d]);
-        acc += diff * diff;
+    const float* res = scratch_.residual.data() + s * dsub;
+    float* lut_row = scratch_.lut_f32.data() + s * 256;
+    static_assert(256 % 8 == 0, "unroll factor must divide the code count");
+#if defined(__SSE2__)
+    if (dsub == 8) {
+      const __m128 scale_v = _mm_set1_ps(scale);
+      for (std::size_t c = 0; c < 256; c += 8) {
+        lut_block8_dsub8(cb_seg + c * 8, res, scale_v, lut_row + c, max_lo,
+                         max_hi);
       }
-      lut_f32_[s * 256 + c] = acc;
-      local_max = std::max(local_max, acc);
+      ctx.instr(256 * (dsub * kInstrLutPerDim + kInstrLutPerEntry));
+      continue;
+    }
+#endif
+    for (std::size_t c = 0; c < 256; c += 8) {
+      const std::int8_t* entry = cb_seg + c * dsub;
+      float acc[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+      for (std::size_t d = 0; d < dsub; ++d) {
+        for (std::size_t u = 0; u < 8; ++u) {
+          const float diff =
+              res[d] - scale * static_cast<float>(entry[u * dsub + d]);
+          acc[u] += diff * diff;
+        }
+      }
+      for (std::size_t u = 0; u < 8; ++u) {
+        lut_row[c + u] = acc[u];
+        local_max = std::max(local_max, acc[u]);
+      }
     }
     ctx.instr(256 * (dsub * kInstrLutPerDim + kInstrLutPerEntry));
   }
-  tasklet_max_[ctx.id()] = local_max;
+#if defined(__SSE2__)
+  {
+    const __m128 mx4 = _mm_max_ps(max_lo, max_hi);
+    alignas(16) float mx[4];
+    _mm_store_ps(mx, mx4);
+    local_max = std::max(
+        local_max, std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3])));
+  }
+#endif
+  scratch_.tasklet_max[ctx.id()] = local_max;
 }
 
 void QueryKernel::phase_lut_reduce(pim::TaskletCtx& ctx) {
   if (ctx.id() != 0) return;
   float mx = 0.f;
-  for (float v : tasklet_max_) mx = std::max(mx, v);
+  for (float v : scratch_.tasklet_max) mx = std::max(mx, v);
   lut_scale_ = mx > 0.f ? mx / 65000.f : 1.f;
-  ctx.instr(tasklet_max_.size() + 6);
+  ctx.instr(scratch_.tasklet_max.size() + 6);
 }
+
+namespace {
+
+/// Bit-exact std::round for the quantizer's domain (non-negative, clamped to
+/// 65535 before the call) without the libm roundf PLT call the baseline
+/// -march build would emit 4096 times per item. Truncation gives
+/// floor(x + 0.5f) for x >= 0; the compare backs out the one case where the
+/// x + 0.5f addition itself rounded up across an integer. Ties (x + 0.5
+/// exactly integral) keep the floor result, which is round-half-away for
+/// positive x — identical to std::round.
+inline float round_nonneg(float x) {
+  float r = static_cast<float>(static_cast<std::int32_t>(x + 0.5f));
+  if (r - 0.5f > x) r -= 1.f;
+  return r;
+}
+
+}  // namespace
 
 void QueryKernel::phase_lut_quantize(pim::TaskletCtx& ctx) {
   // Compact f32 -> u16 in place (front-to-back is safe); each tasklet takes
-  // a contiguous slice.
-  const std::size_t total = lut_f32_.size();
+  // a contiguous slice. The widened token_table mirror is a host-side
+  // convenience for the branchless distance scan — the modeled DPU reads
+  // the u16 LUT via direct addressing, so no extra instructions are charged.
+  const std::size_t total = scratch_.lut_f32.size();
   const std::size_t per = (total + ctx.n_tasklets() - 1) / ctx.n_tasklets();
   const std::size_t lo = ctx.id() * per;
   const std::size_t hi = std::min(total, lo + per);
   const float inv = 1.f / lut_scale_;
+  const float* lut_f32 = scratch_.lut_f32.data();
+  std::uint16_t* lut_u16 = scratch_.lut_u16.data();
+  std::uint32_t* tokens = scratch_.token_table.data();
   for (std::size_t i = lo; i < hi; ++i) {
-    lut_u16_[i] = static_cast<std::uint16_t>(
-        std::min(65535.f, std::round(lut_f32_[i] * inv)));
+    const float q = round_nonneg(std::min(65535.f, lut_f32[i] * inv));
+    lut_u16[i] = static_cast<std::uint16_t>(q);
+    tokens[i] = static_cast<std::uint32_t>(lut_u16[i]);
   }
   if (hi > lo) ctx.instr((hi - lo) * kInstrQuantPerEntry);
 }
@@ -209,14 +380,18 @@ void QueryKernel::phase_combo_sums(const Phase& p, pim::TaskletCtx& ctx) {
   const std::size_t hi = std::min(n, lo + per);
   if (lo >= hi) return;
 
-  std::vector<std::uint8_t> defs((hi - lo) * 4);
-  ctx.mram_read(cl.combos_off + lo * 4, defs.data(), defs.size());
+  const std::size_t lut_span = layout_.m * 256;
+  const std::uint8_t* defs =
+      ctx.mram_view(cl.combos_off + lo * 4, (hi - lo) * 4);
   for (std::size_t s = lo; s < hi; ++s) {
-    const std::uint8_t* d = defs.data() + (s - lo) * 4;
+    const std::uint8_t* d = defs + (s - lo) * 4;
     const std::size_t pos = d[0];
-    combo_sums_[s] = static_cast<std::uint32_t>(lut_u16_[pos * 256 + d[1]]) +
-                     lut_u16_[(pos + 1) * 256 + d[2]] +
-                     lut_u16_[(pos + 2) * 256 + d[3]];
+    const std::uint32_t sum =
+        static_cast<std::uint32_t>(scratch_.lut_u16[pos * 256 + d[1]]) +
+        scratch_.lut_u16[(pos + 1) * 256 + d[2]] +
+        scratch_.lut_u16[(pos + 2) * 256 + d[3]];
+    scratch_.combo_sums[s] = sum;
+    scratch_.token_table[lut_span + s] = sum;
   }
   ctx.instr((hi - lo) * kInstrComboPerSlot);
 }
@@ -224,34 +399,48 @@ void QueryKernel::phase_combo_sums(const Phase& p, pim::TaskletCtx& ctx) {
 void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
   const DpuClusterData& cl = cluster_of(p.item);
   const std::size_t m = layout_.m;
-  const std::size_t k = input_.k;
+  const std::size_t k = input_->k;
   const bool raw = mode_ == KernelMode::kNaiveRaw;
   const std::size_t elem_size = raw ? 1 : 2;
-  const std::size_t read_bytes = input_.mram_read_bytes > 0
+  const std::size_t read_bytes = input_->mram_read_bytes > 0
                                      ? pim::DpuCostModel::legalize_transfer(
-                                           input_.mram_read_bytes)
+                                           input_->mram_read_bytes)
                                      : hw::kMramMaxTransfer;
   const std::uint64_t push_cost = heap_push_cost(k);
   common::BoundedMaxHeap& heap = local_heaps_[ctx.id()];
 
-  std::vector<std::uint8_t> stream_buf(kChunkRecords * (m + 1) * 2);
-  std::vector<std::uint32_t> ids_buf(kChunkRecords);
-  std::vector<std::uint32_t> chunk_index(cl.n_chunks);
-  if (!raw && cl.n_chunks > 0 && ctx.id() == 0) {
-    // The chunk index is small; tasklet 0 stages it (charged once).
-    ctx.instr(4);
-  }
+  // Mode-correct chunk working set: raw mode streams m u8 codes per record;
+  // token mode adds the u16 length prefix. This is the per-tasklet WRAM
+  // buffer the cost model charges — it must agree with setup()'s budget.
+  const std::size_t chunk_capacity_bytes =
+      kChunkRecords * (m + (raw ? 0 : 1)) * elem_size;
+  assert((chunk_capacity_bytes + kChunkRecords * sizeof(std::uint32_t) + 7) /
+             8 * 8 ==
+         per_tasklet_buf_bytes_);
+
+  const std::uint32_t* chunk_index = nullptr;
   if (!raw && cl.n_chunks > 0) {
-    // Every tasklet needs its chunks' offsets; modeled as one DMA of the
-    // slice it owns (the functional copy grabs the whole table).
-    dpu_->host_read(cl.chunk_index_off, chunk_index.data(),
-                    cl.n_chunks * sizeof(std::uint32_t));
+    // Chunk-index accounting: each tasklet is charged one DMA for the slice
+    // of offsets it owns — there is no separate tasklet-0 staging pass (the
+    // seed double-charged here: a 4-instruction stage on tasklet 0 *and* the
+    // per-tasklet slice DMA). The borrowed view spans the whole table
+    // because strided chunk starts read beyond the slice functionally.
+    // test_hot_path.cpp pins the charged dma_cycles. See DESIGN.md §9.
     const std::size_t own =
         (cl.n_chunks + ctx.n_tasklets() - 1) / ctx.n_tasklets();
-    ctx.mram_read(cl.chunk_index_off, chunk_index.data(),
-                  std::min<std::size_t>(own * sizeof(std::uint32_t),
-                                        cl.n_chunks * sizeof(std::uint32_t)));
+    const std::size_t own_bytes =
+        std::min<std::size_t>(own * sizeof(std::uint32_t),
+                              cl.n_chunks * sizeof(std::uint32_t));
+    chunk_index = reinterpret_cast<const std::uint32_t*>(
+        ctx.mram_view(cl.chunk_index_off, own_bytes));
   }
+
+  // Hoisted table pointers: ctx.instr / heap pushes store through other
+  // members, so without locals the compiler must conservatively reload the
+  // vector data pointers on every token.
+  const std::uint16_t* lut = scratch_.lut_u16.data();
+  const std::uint32_t* token_table = scratch_.token_table.data();
+  const float dist_scale = lut_scale_;
 
   std::uint64_t scanned_elems = 0;
   std::uint64_t scanned_recs = 0;
@@ -262,9 +451,10 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
         std::min<std::size_t>(cl.n_records, rec_lo + kChunkRecords);
     const std::size_t n_rec = rec_hi - rec_lo;
 
-    // Ids for this chunk: one DMA.
-    ctx.mram_read(cl.ids_off + rec_lo * sizeof(std::uint32_t), ids_buf.data(),
-                  n_rec * sizeof(std::uint32_t));
+    // Ids for this chunk: one DMA, borrowed in place.
+    const std::uint32_t* ids = reinterpret_cast<const std::uint32_t*>(
+        ctx.mram_view(cl.ids_off + rec_lo * sizeof(std::uint32_t),
+                      n_rec * sizeof(std::uint32_t)));
 
     // Stream span of this chunk.
     std::size_t elem_lo, elem_hi;
@@ -278,49 +468,56 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
                     : cl.stream_len;
     }
     const std::size_t span_bytes = (elem_hi - elem_lo) * elem_size;
-    assert(span_bytes <= stream_buf.size());
-    // DMA the span at the configured read granularity (fig 17's knob):
-    // smaller reads => more DMA setups => higher latency.
+    assert(span_bytes <= chunk_capacity_bytes);
+    // View the span at the configured read granularity (fig 17's knob):
+    // smaller reads => more DMA setups => higher latency. The pieces are
+    // contiguous in MRAM, so the first view covers the whole span.
+    const std::uint8_t* chunk_stream = nullptr;
     {
       std::size_t done = 0;
       while (done < span_bytes) {
         const std::size_t piece = std::min(read_bytes, span_bytes - done);
-        ctx.mram_read(cl.stream_off + elem_lo * elem_size + done,
-                      stream_buf.data() + done, piece);
+        const std::uint8_t* piece_view =
+            ctx.mram_view(cl.stream_off + elem_lo * elem_size + done, piece);
+        if (done == 0) chunk_stream = piece_view;
         done += piece;
       }
     }
 
-    // Scan records.
+    // Scan records. Instruction charges accumulate in locals and are
+    // flushed once per chunk — the charge is an additive sum, so the phase
+    // totals are identical to the per-record flushes of the original loop.
     const std::uint16_t* tokens =
-        reinterpret_cast<const std::uint16_t*>(stream_buf.data());
-    std::size_t cursor = 0;  // element cursor within the chunk buffer
+        reinterpret_cast<const std::uint16_t*>(chunk_stream);
+    std::size_t chunk_elems = 0;
+    std::uint64_t chunk_pushes = 0;
+    std::size_t cursor = 0;  // element cursor within the chunk span
     for (std::size_t r = 0; r < n_rec; ++r) {
       std::uint32_t acc = 0;
-      std::size_t n_elems;
       if (raw) {
-        const std::uint8_t* code = stream_buf.data() + r * m;
+        const std::uint8_t* code = chunk_stream + r * m;
         for (std::size_t pos = 0; pos < m; ++pos) {
-          acc += lut_u16_[pos * 256 + code[pos]];
+          acc += lut[pos * 256 + code[pos]];
         }
-        n_elems = m;
-        ctx.instr(m * kInstrRawScan + kInstrRecordOverhead);
+        chunk_elems += m;
       } else {
+        // One unconditional load per token: base tokens and combo tokens
+        // land in adjacent halves of token_table, exactly like the direct
+        // WRAM addresses they model — no per-token range branch.
         const std::uint16_t len = tokens[cursor++];
-        const std::uint16_t lut_span = static_cast<std::uint16_t>(256 * m);
         for (std::uint16_t t = 0; t < len; ++t) {
-          const std::uint16_t tok = tokens[cursor++];
-          acc += tok < lut_span ? lut_u16_[tok]
-                                : combo_sums_[tok - lut_span];
+          acc += token_table[tokens[cursor + t]];
         }
-        n_elems = len;
-        ctx.instr(len * kInstrTokenScan + kInstrRecordOverhead);
+        cursor += len;
+        chunk_elems += len;
       }
-      scanned_elems += n_elems;
-      ++scanned_recs;
-      const float dist = static_cast<float>(acc) * lut_scale_;
-      if (heap.push(dist, ids_buf[r])) ctx.instr(push_cost);
+      const float dist = static_cast<float>(acc) * dist_scale;
+      if (heap.push(dist, ids[r])) ++chunk_pushes;
     }
+    ctx.instr(chunk_elems * (raw ? kInstrRawScan : kInstrTokenScan) +
+              n_rec * kInstrRecordOverhead + chunk_pushes * push_cost);
+    scanned_elems += chunk_elems;
+    scanned_recs += n_rec;
   }
   // Shared counters: tasklets run sequentially in the simulator, so plain
   // accumulation is deterministic.
@@ -329,15 +526,17 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
 }
 
 void QueryKernel::phase_merge(const Phase& p, pim::TaskletCtx& ctx) {
-  const std::size_t k = input_.k;
+  const std::size_t k = input_->k;
   const std::uint64_t push_cost = heap_push_cost(k);
 
   // Convert this tasklet's max-heap to ascending (min-first) order — the
   // paper's min-heap trick that enables pruning — then feed the DPU heap
-  // under the semaphore.
+  // under the semaphore. The extraction reuses the arena's sorted buffer.
   common::BoundedMaxHeap& heap = local_heaps_[ctx.id()];
   const std::size_t n = heap.size();
-  std::vector<common::Neighbor> sorted = heap.take_sorted();
+  if (n > scratch_.sorted.capacity()) detail::note_hot_path_allocation();
+  heap.take_sorted_into(scratch_.sorted);
+  const std::vector<common::Neighbor>& sorted = scratch_.sorted;
   if (n > 1) {
     std::uint64_t lg = 1;
     while ((1ull << lg) < n) ++lg;
@@ -371,20 +570,23 @@ void QueryKernel::phase_merge(const Phase& p, pim::TaskletCtx& ctx) {
   // The last tasklet (runs last in the simulator's deterministic order)
   // flushes the aggregated top-k to MRAM for the host to gather.
   if (ctx.id() + 1 == ctx.n_tasklets()) {
-    std::vector<common::Neighbor> result = global_heap_.take_sorted();
-    std::vector<std::uint32_t> packed(2 * k, 0xFFFFFFFFu);
-    for (std::size_t i = 0; i < result.size(); ++i) {
+    if (global_heap_.size() > scratch_.result.capacity()) {
+      detail::note_hot_path_allocation();
+    }
+    global_heap_.take_sorted_into(scratch_.result);
+    KernelScratch::assign(scratch_.packed, 2 * k, 0xFFFFFFFFu);
+    for (std::size_t i = 0; i < scratch_.result.size(); ++i) {
       std::uint32_t bits;
-      std::memcpy(&bits, &result[i].dist, sizeof(bits));
-      packed[2 * i] = bits;
-      packed[2 * i + 1] = result[i].id;
+      std::memcpy(&bits, &scratch_.result[i].dist, sizeof(bits));
+      scratch_.packed[2 * i] = bits;
+      scratch_.packed[2 * i + 1] = scratch_.result[i].id;
     }
     const std::size_t slot =
-        input_.results_off +
-        static_cast<std::size_t>(input_.items[p.item].query_local) * k * 8;
-    ctx.mram_write(slot, packed.data(), packed.size() * sizeof(std::uint32_t));
+        input_->results_off +
+        static_cast<std::size_t>(input_->items[p.item].query_local) * k * 8;
+    ctx.mram_write(slot, scratch_.packed.data(),
+                   scratch_.packed.size() * sizeof(std::uint32_t));
     ctx.instr(2 * k);
-    global_heap_.clear();
     for (auto& h : local_heaps_) h.clear();
   }
 }

@@ -129,16 +129,14 @@ double LaunchStage::run(QueryPipeline& pl, BatchContext& ctx) {
   const std::size_t ndpu = pl.options().n_dpus;
   PimExtras& px = *ctx.report.pim;
 
-  ctx.kernels.resize(ndpu);
+  ctx.kernels.assign(ndpu, nullptr);
   for (std::size_t d = 0; d < ndpu; ++d) {
     if (!ctx.inputs[d].items.empty()) {
-      ctx.kernels[d] = std::make_unique<QueryKernel>(
-          pl.per_dpu(d).layout, ctx.inputs[d], pl.mode(),
-          pl.options().opt_prune_topk);
+      ctx.kernels[d] = pl.acquire_kernel(d, ctx.inputs[d]);
     }
   }
   ctx.launch = pl.system().launch(
-      [&](std::size_t d) -> pim::DpuKernel* { return ctx.kernels[d].get(); },
+      [&](std::size_t d) -> pim::DpuKernel* { return ctx.kernels[d]; },
       pl.options().n_tasklets);
   px.dpu_busy_seconds = ctx.launch.dpu_seconds;
   {
@@ -273,6 +271,21 @@ double MergeStage::run(QueryPipeline& pl, BatchContext& ctx) {
   const double seconds = ops / hw::kCpuFlops;
   ctx.report.times.transfer += seconds;
   return seconds;
+}
+
+QueryKernel* QueryPipeline::acquire_kernel(std::size_t d,
+                                           const DpuLaunchInput& input) {
+  if (kernel_pool_.size() != options().n_dpus) {
+    kernel_pool_.resize(options().n_dpus);
+  }
+  std::unique_ptr<QueryKernel>& slot = kernel_pool_[d];
+  if (!slot) {
+    slot = std::make_unique<QueryKernel>(per_dpu(d).layout, input, mode(),
+                                         options().opt_prune_topk);
+  } else {
+    slot->rebind(input);
+  }
+  return slot.get();
 }
 
 QueryPipeline::QueryPipeline(UpAnnsEngine& engine) : engine_(engine) {

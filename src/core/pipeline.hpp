@@ -46,7 +46,9 @@ struct BatchContext {
   Schedule sched;
   std::vector<DpuLaunchInput> inputs;
   std::vector<std::size_t> push_bytes;
-  std::vector<std::unique_ptr<QueryKernel>> kernels;
+  /// Borrowed from QueryPipeline's kernel pool (rebind per batch); nullptr
+  /// for idle DPUs. Valid for the lifetime of the batch only.
+  std::vector<QueryKernel*> kernels;
   pim::PimSystem::LaunchStats launch;
   std::vector<std::vector<std::vector<common::Neighbor>>> per_query_lists;
   std::size_t max_gather = 0;
@@ -127,9 +129,16 @@ class QueryPipeline {
   /// Empty (inlined no-op) when the engine has no registry attached.
   obs::MetricsSink sink() const { return engine_.metrics_; }
 
+  /// Kernel pool: constructs DPU d's kernel on first use, rebinds it to the
+  /// new launch input afterwards. Mode, pruning and the static layout are
+  /// per-engine constants, so reuse across batches is sound; the returned
+  /// pointer stays owned by the pipeline and must not outlive it.
+  QueryKernel* acquire_kernel(std::size_t d, const DpuLaunchInput& input);
+
  private:
   UpAnnsEngine& engine_;
   std::vector<std::unique_ptr<QueryStage>> stages_;
+  std::vector<std::unique_ptr<QueryKernel>> kernel_pool_;
 };
 
 struct BatchPipelineOptions {

@@ -16,9 +16,24 @@ void TaskletCtx::mram_read(std::size_t mram_off, void* dst, std::size_t bytes) {
     const std::size_t chunk = std::min(bytes - done, hw::kMramMaxTransfer);
     work_.dma_cycles += static_cast<std::uint64_t>(
         DpuCostModel::mram_dma_cycles(chunk));
-    dpu_.host_read(mram_off + done, out + done, chunk);
+    dpu_->host_read(mram_off + done, out + done, chunk);
     done += chunk;
   }
+}
+
+const std::uint8_t* TaskletCtx::mram_view(std::size_t mram_off,
+                                          std::size_t bytes) {
+  // Same per-chunk DMA charge as mram_read — a view still stages through
+  // WRAM on real hardware; only the simulator's memcpy is elided.
+  assert(mram_off + bytes <= dpu_->mram_used());
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, hw::kMramMaxTransfer);
+    work_.dma_cycles += static_cast<std::uint64_t>(
+        DpuCostModel::mram_dma_cycles(chunk));
+    done += chunk;
+  }
+  return dpu_->mram_data(mram_off);
 }
 
 void TaskletCtx::mram_write(std::size_t mram_off, const void* src,
@@ -29,7 +44,7 @@ void TaskletCtx::mram_write(std::size_t mram_off, const void* src,
     const std::size_t chunk = std::min(bytes - done, hw::kMramMaxTransfer);
     work_.dma_cycles += static_cast<std::uint64_t>(
         DpuCostModel::mram_dma_cycles(chunk));
-    dpu_.host_write(mram_off + done, in + done, chunk);
+    dpu_->host_write(mram_off + done, in + done, chunk);
     done += chunk;
   }
 }
@@ -67,27 +82,31 @@ DpuRunStats Dpu::run(DpuKernel& kernel, unsigned n_tasklets) {
   n_tasklets = std::clamp(n_tasklets, 1u, hw::kMaxTasklets);
   kernel.setup(*this, n_tasklets);
 
-  DpuRunStats stats;
-  std::vector<TaskletCtx> ctxs;
-  ctxs.reserve(n_tasklets);
-  for (unsigned t = 0; t < n_tasklets; ++t) {
-    ctxs.emplace_back(*this, t, n_tasklets);
+  // Launch-object reuse: the per-tasklet contexts and work records persist
+  // across run() calls and are rebuilt only when the tasklet count changes.
+  if (run_ctxs_.size() != n_tasklets) {
+    run_ctxs_.clear();
+    run_ctxs_.reserve(n_tasklets);
+    for (unsigned t = 0; t < n_tasklets; ++t) {
+      run_ctxs_.emplace_back(*this, t, n_tasklets);
+    }
+    run_works_.assign(n_tasklets, TaskletWork{});
   }
 
+  DpuRunStats stats;
   const unsigned phases = kernel.n_phases();
   stats.phase_cycles.reserve(phases);
-  std::vector<TaskletWork> works(n_tasklets);
   for (unsigned p = 0; p < phases; ++p) {
     for (unsigned t = 0; t < n_tasklets; ++t) {
-      ctxs[t].reset_work();
-      kernel.run_phase(p, ctxs[t]);
-      works[t] = ctxs[t].work();
-      stats.instructions += works[t].instructions +
-                            works[t].critical_instructions;
-      stats.dma_cycles += works[t].dma_cycles;
+      run_ctxs_[t].reset_work();
+      kernel.run_phase(p, run_ctxs_[t]);
+      run_works_[t] = run_ctxs_[t].work();
+      stats.instructions += run_works_[t].instructions +
+                            run_works_[t].critical_instructions;
+      stats.dma_cycles += run_works_[t].dma_cycles;
     }
     const std::uint64_t pc =
-        DpuCostModel::phase_cycles(works) + DpuCostModel::barrier_cycles();
+        DpuCostModel::phase_cycles(run_works_) + DpuCostModel::barrier_cycles();
     stats.phase_cycles.push_back(pc);
     stats.cycles += pc;
   }
@@ -109,15 +128,23 @@ PimSystem::LaunchStats PimSystem::launch(
   out.dpu_seconds.assign(dpus_.size(), 0.0);
   out.dpu_stats.assign(dpus_.size(), DpuRunStats{});
 
-  common::ThreadPool::global().parallel_for(
+  // Chunked dispatch sized to the pool (~4 chunks per worker for dynamic
+  // balance): one type-erased task per chunk instead of a grain-1 dispatch,
+  // and idle DPUs are skipped inside the chunk without a dispatch round trip.
+  common::ThreadPool& pool = common::ThreadPool::global();
+  const std::size_t grain =
+      std::max<std::size_t>(1, dpus_.size() / (pool.size() * 4));
+  pool.parallel_for_chunks(
       0, dpus_.size(),
-      [&](std::size_t i) {
-        DpuKernel* kernel = kernel_for(i);
-        if (!kernel) return;
-        out.dpu_stats[i] = dpus_[i].run(*kernel, n_tasklets);
-        out.dpu_seconds[i] = out.dpu_stats[i].seconds();
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          DpuKernel* kernel = kernel_for(i);
+          if (!kernel) continue;
+          out.dpu_stats[i] = dpus_[i].run(*kernel, n_tasklets);
+          out.dpu_seconds[i] = out.dpu_stats[i].seconds();
+        }
       },
-      1);
+      grain);
 
   for (std::size_t i = 0; i < out.dpu_stats.size(); ++i) {
     if (out.dpu_stats[i].cycles > out.max_cycles) {

@@ -38,17 +38,37 @@ class Dpu;
 class TaskletCtx {
  public:
   TaskletCtx(Dpu& dpu, unsigned id, unsigned n_tasklets)
-      : dpu_(dpu), id_(id), n_tasklets_(n_tasklets) {}
+      : dpu_(&dpu), id_(id), n_tasklets_(n_tasklets) {}
 
   unsigned id() const { return id_; }
   unsigned n_tasklets() const { return n_tasklets_; }
-  Dpu& dpu() { return dpu_; }
+  Dpu& dpu() { return *dpu_; }
 
   /// DMA MRAM -> local buffer. Copies the bytes and charges DMA latency.
   /// `bytes` must respect the hardware limits (8-aligned, <= 2048); larger
   /// requests are split into maximal legal chunks like mram_read loops do
   /// in real DPU code.
   void mram_read(std::size_t mram_off, void* dst, std::size_t bytes);
+
+  /// Borrowed read-only view of MRAM. Charges the *identical*
+  /// DpuCostModel::mram_dma_cycles chunking as mram_read(mram_off, _, bytes)
+  /// but returns a pointer into the DPU's MRAM backing store instead of
+  /// copying — the zero-copy path for read-only codebook segments, id
+  /// buffers and token-stream scans. On real hardware this is still a
+  /// WRAM-staging DMA; only the host-side simulation skips the memcpy.
+  ///
+  /// Aliasing rules (see DESIGN.md §9): a view is invalidated by
+  /// mram_alloc / mram_rewind / host_write on the same DPU; kernels must
+  /// consume a view before issuing the next DMA charge against the region
+  /// it covers and never retain one across phases.
+  const std::uint8_t* mram_view(std::size_t mram_off, std::size_t bytes);
+
+  /// mram_view typed shorthand. Alignment is guaranteed by mram_alloc's
+  /// 8-byte granularity plus the kernels' power-of-two element sizes.
+  template <typename T>
+  const T* mram_view_as(std::size_t mram_off, std::size_t bytes) {
+    return reinterpret_cast<const T*>(mram_view(mram_off, bytes));
+  }
 
   /// DMA local buffer -> MRAM.
   void mram_write(std::size_t mram_off, const void* src, std::size_t bytes);
@@ -63,7 +83,7 @@ class TaskletCtx {
   void reset_work() { work_.clear(); }
 
  private:
-  Dpu& dpu_;
+  Dpu* dpu_;
   unsigned id_;
   unsigned n_tasklets_;
   TaskletWork work_;
@@ -130,6 +150,12 @@ class Dpu {
   std::vector<std::uint8_t> mram_;
   WramAllocator wram_;
   std::uint64_t busy_cycles_ = 0;
+  // Launch-object pool: TaskletCtx/TaskletWork vectors reused across run()
+  // calls (rebuilt only when n_tasklets changes) so repeated launches on the
+  // serving path construct nothing. run() is per-DPU serial, so the pool
+  // needs no synchronization.
+  std::vector<TaskletCtx> run_ctxs_;
+  std::vector<TaskletWork> run_works_;
 };
 
 /// A collection of DPUs driven by the host, e.g. 7 DIMMs x 128 DPUs.
