@@ -9,13 +9,19 @@
 //                     [--metrics-out metrics.json]
 //   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
 //                     --batch 64 [--hosts 4] [--no-overlap]
+//                     [--update-rate 0.05 [--compact-ratio 0.3]]
 //                     [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // `search` drives any backend (cpu, gpu, upanns, naive, multihost) through
 // the common core::AnnsBackend interface; `serve` streams query batches
 // through the double-buffered core::BatchPipeline — or, with `--hosts N`,
 // through the overlapped multi-host core::MultiHostBatchPipeline (network
-// modeled via --net-gbps / --net-latency-us). `--trace-out` writes a Chrome/Perfetto
+// modeled via --net-gbps / --net-latency-us). `--update-rate R` mixes writes
+// into the stream (single-host only): before each batch, ~R * batch_size
+// mutations are issued — half inserts of perturbed base vectors under fresh
+// ids, half removes of random live ids — then applied as one incremental
+// MRAM patch instead of a full reload; lists whose tombstone share exceeds
+// --compact-ratio are compacted along the way. `--trace-out` writes a Chrome/Perfetto
 // trace of the run (load at ui.perfetto.dev); `--metrics-out` writes the
 // report plus a metrics-registry snapshot as JSON. Flags accept both
 // `--key value` and `--key=value`; `--log-level debug|info|warn|error`
@@ -23,13 +29,16 @@
 //
 // `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
 // substituted for the synthetic data at any step.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "core/multihost.hpp"
@@ -226,7 +235,8 @@ int cmd_search(const Args& a) {
 }
 
 int cmd_serve(const Args& a) {
-  const ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
+  // Non-const: --update-rate mutates the index between batches.
+  ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
   const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
   data::WorkloadSpec wspec;
   wspec.n_queries = a.num("queries", 512);
@@ -300,23 +310,90 @@ int cmd_serve(const Args& a) {
     return 0;
   }
 
+  // `index` is a non-const lvalue, so this picks the updatable backend —
+  // identical to read-only serving until a mutation is actually issued.
   core::UpAnnsBackend backend(index, stats, opts);
   if (!metrics_out.empty()) backend.set_metrics(&registry);
 
   core::BatchPipelineOptions popts;
   popts.overlap = !a.flag("no-overlap");
   core::BatchPipeline pipeline(backend.engine(), popts);
-  const auto run = pipeline.run(batches);
+
+  // --update-rate R: mixed read/write stream. Before each batch, issue
+  // ~R * batch_size writes (half fresh-id inserts of perturbed base rows,
+  // half removes of random live ids); the pipeline folds the resulting
+  // incremental MRAM patch into that batch's device phase.
+  const double update_rate = a.real("update-rate", 0.0);
+  const double compact_ratio = a.real("compact-ratio", 0.3);
+  core::BatchPipeline::MutationHook hook;
+  common::Rng rng(a.num("seed", 5) * 7919 + 13);
+  std::vector<std::uint32_t> live(index.n_points());
+  std::uint32_t next_id = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = static_cast<std::uint32_t>(i);
+    next_id = std::max(next_id, live[i] + 1);
+  }
+  std::size_t n_upserts = 0, n_removes = 0;
+  if (update_rate > 0) {
+    hook = [&](std::size_t b) {
+      const std::size_t writes = static_cast<std::size_t>(
+          update_rate * static_cast<double>(batches[b].n) + 0.5);
+      std::vector<float> vec(ds.dim);
+      for (std::size_t w = 0; w < writes; ++w) {
+        if (w % 2 == 0 || live.empty()) {
+          const float* base = ds.row(rng.below(ds.n));
+          for (std::size_t j = 0; j < ds.dim; ++j) {
+            vec[j] = base[j] + rng.uniform(-0.05f, 0.05f);
+          }
+          const std::uint32_t id = next_id++;
+          backend.upsert({&id, 1}, {vec.data(), vec.size()});
+          live.push_back(id);
+          ++n_upserts;
+        } else {
+          const std::size_t pick = rng.below(live.size());
+          const std::uint32_t id = live[pick];
+          live[pick] = live.back();
+          live.pop_back();
+          backend.remove({&id, 1});
+          ++n_removes;
+        }
+      }
+      backend.engine().compact(compact_ratio);
+    };
+  }
+  const auto run = pipeline.run(batches, hook);
 
   std::printf("served %zu queries in %zu batches (%s)\n", run.n_queries,
               run.slots.size(), run.overlapped ? "overlapped" : "no-overlap");
   std::printf("simulated elapsed %.3f ms (serial stage sum %.3f ms), "
               "QPS=%.1f\n",
               run.elapsed_seconds * 1e3, run.serial_seconds * 1e3, run.qps);
+  if (update_rate > 0) {
+    std::uint64_t patch_bytes = 0;
+    double patch_ms = 0;
+    for (const auto& slot : run.slots) {
+      patch_bytes += slot.patch_bytes;
+      patch_ms += slot.patch_seconds * 1e3;
+    }
+    std::printf("writes: %zu upserts, %zu removes; %llu patch bytes in "
+                "%.3f ms (full image %llu bytes)\n",
+                n_upserts, n_removes,
+                static_cast<unsigned long long>(patch_bytes), patch_ms,
+                static_cast<unsigned long long>(
+                    backend.engine().load_image_bytes()));
+  }
   for (std::size_t i = 0; i < run.slots.size(); ++i) {
-    std::printf("  batch %2zu: host %.4f ms, device %.4f ms\n", i,
-                run.slots[i].host_seconds * 1e3,
-                run.slots[i].device_seconds * 1e3);
+    if (run.slots[i].patch_seconds > 0) {
+      std::printf("  batch %2zu: patch %.4f ms, host %.4f ms, "
+                  "device %.4f ms\n",
+                  i, run.slots[i].patch_seconds * 1e3,
+                  run.slots[i].host_seconds * 1e3,
+                  run.slots[i].device_seconds * 1e3);
+    } else {
+      std::printf("  batch %2zu: host %.4f ms, device %.4f ms\n", i,
+                  run.slots[i].host_seconds * 1e3,
+                  run.slots[i].device_seconds * 1e3);
+    }
     if (i >= 3 && run.slots.size() > 5) {
       std::printf("  ... (%zu more batches)\n", run.slots.size() - i - 1);
       break;
@@ -350,6 +427,7 @@ int usage() {
                "         [--metrics-out M.json]\n"
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
                "         [--hosts N --net-gbps G --net-latency-us U]\n"
+               "         [--update-rate R --compact-ratio C]\n"
                "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"
                "common: --log-level debug|info|warn|error (or UPANNS_LOG env)\n");
   return 1;

@@ -40,11 +40,26 @@ CpuSearchResult CpuIvfpqSearcher::search_with_probes(
           if (list.size() == 0) continue;
           index_.residual(qv, c, residual.data());
           index_.pq().compute_lut(residual.data(), lut.data());
-          for (std::size_t i = 0; i < list.size(); ++i) {
-            const float d = index_.pq().adc_distance(lut.data(), list.code(i, m));
-            heap.push(d, list.ids[i]);
+          if (!list.has_tombstones()) {
+            for (std::size_t i = 0; i < list.size(); ++i) {
+              const float d =
+                  index_.pq().adc_distance(lut.data(), list.code(i, m));
+              heap.push(d, list.ids[i]);
+            }
+            scanned += list.size();
+          } else {
+            // Mutated list: dead slots are skipped before the ADC scan, so
+            // candidates match a compacted rebuild exactly.
+            std::size_t live = 0;
+            for (std::size_t i = 0; i < list.size(); ++i) {
+              if (list.is_dead(i)) continue;
+              const float d =
+                  index_.pq().adc_distance(lut.data(), list.code(i, m));
+              heap.push(d, list.ids[i]);
+              ++live;
+            }
+            scanned += live;
           }
-          scanned += list.size();
           local_max = std::max(local_max, list.size());
         }
         out.neighbors[q] = heap.take_sorted();

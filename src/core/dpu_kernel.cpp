@@ -26,6 +26,7 @@ constexpr std::uint64_t kInstrTokenScan = 3;      // load token, LUT load, add
 constexpr std::uint64_t kInstrRawScan = 4;        // + running-base addressing
 constexpr std::uint64_t kInstrRecordOverhead = 5; // header, loop, compare, scale
 constexpr std::uint64_t kInstrResidualPerDim = 3; // load, sub, store
+constexpr std::uint64_t kInstrTombstoneMask = 1;  // id-vs-sentinel select
 
 std::uint64_t heap_push_cost(std::size_t k) {
   std::uint64_t lg = 1;
@@ -408,6 +409,10 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
                                      : hw::kMramMaxTransfer;
   const std::uint64_t push_cost = heap_push_cost(k);
   common::BoundedMaxHeap& heap = local_heaps_[ctx.id()];
+  // Tombstone masking is hoisted per cluster: fully live clusters (the
+  // read-only serving case) take the exact pre-mutability path — no extra
+  // branch, no extra instruction charge.
+  const bool masked = cl.n_tombstones != 0;
 
   // Mode-correct chunk working set: raw mode streams m u8 codes per record;
   // token mode adds the u16 length prefix. This is the per-tasklet WRAM
@@ -512,10 +517,18 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
         chunk_elems += len;
       }
       const float dist = static_cast<float>(acc) * dist_scale;
-      if (heap.push(dist, ids[r])) ++chunk_pushes;
+      // Tombstoned slots still stream (their tokens are in the chunk) but
+      // never enter a heap: on hardware this is a compare-and-select on the
+      // id, charged once per record only when the cluster has tombstones.
+      const std::uint32_t id = ids[r];
+      if (!masked || id != kTombstoneId) {
+        if (heap.push(dist, id)) ++chunk_pushes;
+      }
     }
     ctx.instr(chunk_elems * (raw ? kInstrRawScan : kInstrTokenScan) +
-              n_rec * kInstrRecordOverhead + chunk_pushes * push_cost);
+              n_rec * (kInstrRecordOverhead +
+                       (masked ? kInstrTombstoneMask : 0)) +
+              chunk_pushes * push_cost);
     scanned_elems += chunk_elems;
     scanned_recs += n_rec;
   }

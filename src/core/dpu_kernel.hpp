@@ -42,17 +42,31 @@ enum class KernelMode { kNaiveRaw, kDirectTokens, kCae };
 /// a token-offset entry in the chunk index so tasklets can start mid-stream.
 inline constexpr std::size_t kChunkRecords = 16;
 
+/// Id sentinel marking a tombstoned slot in a cluster's MRAM id array. The
+/// distance scan drops matching records with a branchless select; real ids
+/// never collide with it (the result packer already reserves 0xFFFFFFFF for
+/// "no neighbor").
+inline constexpr std::uint32_t kTombstoneId = 0xFFFFFFFFu;
+
 /// MRAM layout of one resident cluster replica (built by the engine).
+/// The *_cap fields record the bytes reserved at each offset — the engine
+/// over-allocates by UpAnnsOptions::mram_list_slack so a list that grows a
+/// little patches in place instead of relocating.
 struct DpuClusterData {
   std::uint32_t cluster_id = 0;
   std::uint32_t n_records = 0;
+  std::uint32_t n_tombstones = 0; ///< sentinel slots in the id array
   std::size_t ids_off = 0;        ///< u32 x n_records
+  std::size_t ids_cap = 0;        ///< bytes reserved at ids_off
   std::size_t stream_off = 0;     ///< u16 tokens (or u8 codes in kNaiveRaw)
   std::size_t stream_len = 0;     ///< element count (u16s, or bytes if raw)
+  std::size_t stream_cap = 0;     ///< bytes reserved at stream_off
   std::size_t chunk_index_off = 0;///< u32 element offsets, one per chunk
   std::uint32_t n_chunks = 0;
+  std::size_t chunk_cap = 0;      ///< bytes reserved at chunk_index_off
   std::size_t combos_off = 0;     ///< packed CaeCombo (4B each)
   std::uint32_t n_combos = 0;
+  std::size_t combos_cap = 0;     ///< bytes reserved at combos_off
   std::size_t centroid_off = 0;   ///< float x dim
 };
 

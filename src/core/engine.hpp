@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "baselines/stage_times.hpp"
@@ -52,6 +53,11 @@ struct UpAnnsOptions {
   /// MRAM read granularity for the distance stage, in vectors (Fig 17;
   /// default 16 per Sec 5.4.2). 0 = one maximal DMA per chunk.
   std::size_t mram_read_vectors = 16;
+  /// Fractional slack reserved past each list region when loading MRAM
+  /// images, so a list that grows via insert() patches in place instead of
+  /// relocating. Offsets are timing-invisible (DMA is charged by bytes), so
+  /// the slack never changes read-only results.
+  double mram_list_slack = 0.25;
 
   bool opt_placement = true;         ///< Opt1 offline (Algorithm 1)
   bool opt_scheduling = true;        ///< Opt1 online (Algorithm 2)
@@ -81,6 +87,13 @@ class UpAnnsEngine {
  public:
   /// Build the PIM-resident index. `stats` supplies s_i / f_i for placement.
   UpAnnsEngine(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+               UpAnnsOptions options);
+
+  /// Updatable engine: same build, but the engine may mutate the index
+  /// (upsert/remove/compact) and incrementally patch the MRAM images via
+  /// patch_dpus(). With no mutations issued, behavior is bit-identical to
+  /// the read-only overload.
+  UpAnnsEngine(ivf::IvfIndex& index, const ivf::ClusterStats& stats,
                UpAnnsOptions options);
 
   /// Search one batch.
@@ -123,6 +136,42 @@ class UpAnnsEngine {
   /// Algorithm 1 pass + MRAM reload, without retraining the index).
   void relocate(const ivf::ClusterStats& stats);
 
+  // ----- Streaming updates (engines built from a mutable index) -----
+
+  /// True when constructed from a non-const index.
+  bool updatable() const { return mutable_index_ != nullptr; }
+
+  /// Mutate the index through the engine so dirty-list tracking stays
+  /// coherent. Throw std::logic_error on a read-only engine. The MRAM
+  /// images go stale until patch_dpus() (search() applies it lazily).
+  void upsert(std::span<const std::uint32_t> ids,
+              std::span<const float> vectors);
+  std::size_t remove(std::span<const std::uint32_t> ids);
+  std::size_t compact(double min_tombstone_ratio = 0.0);
+
+  /// True when the index mutated since the MRAM images were last synced.
+  bool needs_patch() const;
+
+  /// One incremental patch pass: delta-sync of changed list segments.
+  struct PatchStats {
+    std::uint64_t bytes_written = 0;  ///< MRAM bytes actually pushed
+    std::size_t lists_patched = 0;    ///< dirty (cluster, replica) images
+    std::size_t regions_moved = 0;    ///< relocations past the slack cap
+    double seconds = 0;               ///< simulated host->DPU push time
+  };
+
+  /// Push only the dirty list segments (ids with tombstone sentinels, token
+  /// stream, chunk index, combos) plus the updated length/static-mark
+  /// tables to the DPUs — the streaming replacement for a full load_dpus().
+  /// No-op (all-zero stats) when nothing is dirty.
+  PatchStats patch_dpus();
+
+  /// Total MRAM bytes host_write() pushed by the last full load_dpus() —
+  /// the denominator for patch-incrementality checks.
+  std::uint64_t load_image_bytes() const { return load_image_bytes_; }
+  /// Cumulative patch bytes across all patch_dpus() calls.
+  std::uint64_t patch_bytes_total() const { return patch_bytes_total_; }
+
   /// Per-DPU MRAM image state. Internal to the engine + pipeline; public
   /// only as a type so QueryPipeline can name it.
   struct PerDpu {
@@ -134,9 +183,30 @@ class UpAnnsEngine {
  private:
   friend class QueryPipeline;  ///< online path reads layouts, rewinds MRAM
 
+  /// Host-side byte image of one cluster's MRAM regions — the single source
+  /// both the full loader and the incremental patcher write from, so a
+  /// patched replica is byte-identical to a freshly loaded one.
+  struct ClusterImage {
+    std::vector<std::uint32_t> ids;     ///< tombstoned slots already sentineled
+    std::vector<std::uint8_t> stream;   ///< u16 tokens or raw codes, as bytes
+    std::size_t stream_elems = 0;       ///< element count (cd.stream_len)
+    std::vector<std::uint32_t> chunk_index;
+    std::vector<std::uint8_t> combos;   ///< packed 4B combo defs
+    std::uint32_t n_records = 0;
+    std::uint32_t n_tombstones = 0;
+  };
+
   void load_dpus(const ivf::ClusterStats& stats);
+  void encode_cluster(std::size_t c);
+  /// Bring encodings_[c] up to date with the list: full re-encode after a
+  /// compaction, cheap direct-token append after pure inserts.
+  void refresh_encoding(std::size_t c);
+  void build_cluster_image(std::uint32_t c, ClusterImage& out) const;
+  std::size_t slack_bytes(std::size_t bytes) const;
+  void snapshot_loaded_state();
 
   const ivf::IvfIndex& index_;
+  ivf::IvfIndex* mutable_index_ = nullptr;
   UpAnnsOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Placement placement_;
@@ -150,6 +220,14 @@ class UpAnnsEngine {
   // Cluster encodings, shared across replicas.
   std::vector<CaeClusterEncoding> encodings_;
   double build_length_reduction_ = 0;
+
+  // Streaming-update bookkeeping: per-cluster list state the MRAM images /
+  // encodings were built from, and byte totals for incrementality checks.
+  std::vector<std::uint32_t> loaded_gen_;
+  std::vector<std::uint32_t> enc_compact_;
+  std::uint64_t loaded_epoch_ = 0;
+  std::uint64_t load_image_bytes_ = 0;
+  std::uint64_t patch_bytes_total_ = 0;
 
   KernelMode mode_ = KernelMode::kCae;
 };

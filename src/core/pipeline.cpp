@@ -353,23 +353,37 @@ BatchPipeline::BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts)
 
 BatchPipelineReport BatchPipeline::run(
     const std::vector<data::Dataset>& batches) {
+  return run(batches, MutationHook{});
+}
+
+BatchPipelineReport BatchPipeline::run(
+    const std::vector<data::Dataset>& batches, const MutationHook& mutate) {
   BatchPipelineReport out;
   out.overlapped = opts_.overlap;
 
   QueryPipeline pipeline(engine_);
-  for (const data::Dataset& batch : batches) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const data::Dataset& batch = batches[b];
     BatchSlot slot;
+    if (mutate) mutate(b);
+    if (engine_.updatable() && engine_.needs_patch()) {
+      const UpAnnsEngine::PatchStats ps = engine_.patch_dpus();
+      slot.patch_seconds = ps.seconds;
+      slot.patch_bytes = ps.bytes_written;
+    }
     slot.report = pipeline.run(batch, nullptr);
 
     // Host prefix = the leading kHost trace entries (filter + schedule);
-    // the device phase is the exact remainder of the batch total, so
-    // host + device always reproduces times.total() bit-for-bit.
+    // the device phase is the exact remainder of the batch total plus any
+    // MRAM patch, so host + device always reproduces times.total() (+
+    // patch) bit-for-bit. With no mutations pending patch_seconds is 0 and
+    // the accounting matches the read-only overload exactly.
     slot.host_seconds = leading_host_seconds(slot.report);
     slot.device_seconds =
-        slot.report.times.total() - slot.host_seconds;
+        slot.report.times.total() - slot.host_seconds + slot.patch_seconds;
 
     out.n_queries += batch.n;
-    out.serial_seconds += slot.report.times.total();
+    out.serial_seconds += slot.report.times.total() + slot.patch_seconds;
     out.slots.push_back(std::move(slot));
   }
 
@@ -394,6 +408,12 @@ BatchPipelineReport BatchPipeline::run(
     for (const BatchSlot& slot : out.slots) {
       sink.observe("batch_pipeline.slot.host_seconds", slot.host_seconds);
       sink.observe("batch_pipeline.slot.device_seconds", slot.device_seconds);
+      // Only written when a patch actually ran, so read-only runs keep a
+      // byte-identical metrics report.
+      if (slot.patch_seconds > 0) {
+        sink.observe("batch_pipeline.slot.patch_seconds", slot.patch_seconds);
+        sink.count("batch_pipeline.patch_bytes", slot.patch_bytes);
+      }
     }
     sink.count("batch_pipeline.runs");
     sink.set("batch_pipeline.overlap_saved_seconds",

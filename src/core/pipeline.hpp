@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -151,6 +152,10 @@ struct BatchPipelineOptions {
 struct BatchSlot {
   double host_seconds = 0;    ///< leading host stages (filter + schedule)
   double device_seconds = 0;  ///< everything after the host prefix
+  /// Incremental MRAM patch applied before this batch (updatable engines
+  /// with pending mutations only; folded into device_seconds).
+  double patch_seconds = 0;
+  std::uint64_t patch_bytes = 0;
   SearchReport report;
 };
 
@@ -177,6 +182,18 @@ class BatchPipeline {
   explicit BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts = {});
 
   BatchPipelineReport run(const std::vector<data::Dataset>& batches);
+
+  /// Mixed read/write workload: `mutate(i)` runs before batch i and may
+  /// issue engine upsert/remove/compact calls. Pending mutations are then
+  /// applied as one incremental MRAM patch (UpAnnsEngine::patch_dpus) whose
+  /// cost is charged to the slot's device phase — the patch occupies the
+  /// MRAM bus, so it cannot overlap the batch's own device stages, but the
+  /// next batch's host prefix still overlaps it like any device work. A
+  /// null hook (or one that never mutates) reproduces the read-only run
+  /// bit-for-bit.
+  using MutationHook = std::function<void(std::size_t batch_index)>;
+  BatchPipelineReport run(const std::vector<data::Dataset>& batches,
+                          const MutationHook& mutate);
 
  private:
   UpAnnsEngine& engine_;

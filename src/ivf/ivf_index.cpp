@@ -3,12 +3,35 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "common/topk.hpp"
 #include "quant/kmeans.hpp"
 
 namespace upanns::ivf {
+
+IvfIndex::IvfIndex(const IvfIndex& other)
+    : dim_(other.dim_),
+      n_clusters_(other.n_clusters_),
+      n_points_(other.n_points_),
+      centroids_(other.centroids_),
+      pq_(other.pq_),
+      lists_(other.lists_),
+      mutation_epoch_(other.mutation_epoch_) {}
+
+IvfIndex& IvfIndex::operator=(const IvfIndex& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  n_clusters_ = other.n_clusters_;
+  n_points_ = other.n_points_;
+  centroids_ = other.centroids_;
+  pq_ = other.pq_;
+  lists_ = other.lists_;
+  mutation_epoch_ = other.mutation_epoch_;
+  directory_.reset();
+  return *this;
+}
 
 IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts) {
   if (base.empty()) throw std::invalid_argument("IvfIndex: empty dataset");
@@ -66,6 +89,17 @@ IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts)
   return idx;
 }
 
+IvfIndex IvfIndex::empty_like(const IvfIndex& other) {
+  IvfIndex idx;
+  idx.dim_ = other.dim_;
+  idx.n_clusters_ = other.n_clusters_;
+  idx.n_points_ = 0;
+  idx.centroids_ = other.centroids_;
+  idx.pq_ = other.pq_;
+  idx.lists_.resize(idx.n_clusters_);
+  return idx;
+}
+
 std::vector<std::size_t> IvfIndex::list_sizes() const {
   std::vector<std::size_t> sizes(lists_.size());
   for (std::size_t c = 0; c < lists_.size(); ++c) sizes[c] = lists_[c].size();
@@ -89,6 +123,124 @@ std::vector<std::uint32_t> IvfIndex::filter_clusters(const float* query,
 void IvfIndex::residual(const float* vec, std::size_t c, float* out) const {
   const float* ctr = centroid(c);
   for (std::size_t d = 0; d < dim_; ++d) out[d] = vec[d] - ctr[d];
+}
+
+std::size_t IvfIndex::assign_cluster(const float* vec) const {
+  std::size_t best = 0;
+  float best_d = quant::l2_sq(vec, centroid(0), dim_);
+  for (std::size_t c = 1; c < n_clusters_; ++c) {
+    const float d = quant::l2_sq(vec, centroid(c), dim_);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void IvfIndex::index_list_into_directory(std::uint32_t c) {
+  const InvertedList& list = lists_[c];
+  for (std::size_t i = 0; i < list.ids.size(); ++i) {
+    if (list.is_dead(i)) continue;
+    (*directory_)[list.ids[i]] = {c, static_cast<std::uint32_t>(i)};
+  }
+}
+
+void IvfIndex::ensure_directory() {
+  if (directory_) return;
+  directory_ = std::make_unique<std::unordered_map<std::uint32_t, SlotRef>>();
+  directory_->reserve(n_points_);
+  for (std::uint32_t c = 0; c < n_clusters_; ++c) index_list_into_directory(c);
+}
+
+void IvfIndex::insert(std::span<const std::uint32_t> ids,
+                      std::span<const float> vectors) {
+  if (!pq_.trained()) throw std::logic_error("IvfIndex::insert: not built");
+  if (vectors.size() != ids.size() * dim_) {
+    throw std::invalid_argument("IvfIndex::insert: ids/vectors size mismatch");
+  }
+  ensure_directory();
+  const std::size_t m = pq_.m();
+  std::vector<float> res(dim_);
+  std::vector<std::uint8_t> code(m);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (directory_->count(ids[i]) > 0) {
+      throw std::invalid_argument("IvfIndex::insert: duplicate id " +
+                                  std::to_string(ids[i]));
+    }
+    const float* vec = vectors.data() + i * dim_;
+    const std::size_t c = assign_cluster(vec);
+    residual(vec, c, res.data());
+    pq_.encode(res.data(), code.data());
+
+    InvertedList& list = lists_[c];
+    list.ids.push_back(ids[i]);
+    list.codes.insert(list.codes.end(), code.begin(), code.end());
+    if (!list.tombstones.empty()) list.tombstones.push_back(0);
+    ++list.generation;
+    (*directory_)[ids[i]] = {static_cast<std::uint32_t>(c),
+                             static_cast<std::uint32_t>(list.ids.size() - 1)};
+    ++n_points_;
+  }
+  if (!ids.empty()) ++mutation_epoch_;
+}
+
+bool IvfIndex::contains(std::uint32_t id) const {
+  if (directory_) return directory_->count(id) > 0;
+  for (const InvertedList& list : lists_) {
+    for (std::size_t i = 0; i < list.ids.size(); ++i) {
+      if (list.ids[i] == id && !list.is_dead(i)) return true;
+    }
+  }
+  return false;
+}
+
+bool IvfIndex::remove(std::uint32_t id) {
+  ensure_directory();
+  const auto it = directory_->find(id);
+  if (it == directory_->end()) return false;
+  InvertedList& list = lists_[it->second.cluster];
+  if (list.tombstones.empty()) list.tombstones.assign(list.ids.size(), 0);
+  assert(!list.is_dead(it->second.pos));
+  list.tombstones[it->second.pos] = 1;
+  ++list.n_tombstones;
+  ++list.generation;
+  directory_->erase(it);
+  --n_points_;
+  ++mutation_epoch_;
+  return true;
+}
+
+std::size_t IvfIndex::compact(double min_tombstone_ratio) {
+  std::size_t compacted = 0;
+  const std::size_t m = pq_.m();
+  for (std::uint32_t c = 0; c < n_clusters_; ++c) {
+    InvertedList& list = lists_[c];
+    if (list.n_tombstones == 0 ||
+        list.tombstone_ratio() < min_tombstone_ratio) {
+      continue;
+    }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < list.ids.size(); ++i) {
+      if (list.is_dead(i)) continue;
+      if (w != i) {
+        list.ids[w] = list.ids[i];
+        std::copy_n(list.codes.data() + i * m, m, list.codes.data() + w * m);
+      }
+      ++w;
+    }
+    list.ids.resize(w);
+    list.codes.resize(w * m);
+    list.tombstones.clear();
+    list.n_tombstones = 0;
+    ++list.generation;
+    ++list.compact_epoch;
+    ++compacted;
+    // Surviving slots moved; refresh their directory positions.
+    if (directory_) index_list_into_directory(c);
+  }
+  if (compacted > 0) ++mutation_epoch_;
+  return compacted;
 }
 
 }  // namespace upanns::ivf

@@ -16,6 +16,11 @@ namespace {
 constexpr std::uint32_t kPqMagic = 0x55505131;   // "UPQ1"
 constexpr std::uint32_t kIvfMagic = 0x55495631;  // "UIV1"
 constexpr std::uint32_t kVersion = 1;
+// IVF file versions. v1 is the pre-mutability layout (ids + codes per list);
+// v2 appends tombstones, generation and compact_epoch per list. v1 files
+// keep loading (lists come back fully live, generation 0).
+constexpr std::uint32_t kIvfVersionV1 = 1;
+constexpr std::uint32_t kIvfVersionV2 = 2;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -88,10 +93,29 @@ ProductQuantizer ProductQuantizer::load_from(std::istream& is) {
 namespace ivf {
 
 void IvfIndex::save(const std::string& path) const {
+  save(path, kIvfVersionV2);
+}
+
+void IvfIndex::save(const std::string& path, std::uint32_t version) const {
+  if (version != kIvfVersionV1 && version != kIvfVersionV2) {
+    throw std::runtime_error("IvfIndex::save: unsupported version " +
+                             std::to_string(version));
+  }
+  if (version == kIvfVersionV1) {
+    // The v1 layout has no tombstone channel; refuse rather than silently
+    // resurrect dead points. Callers can compact() first.
+    for (const InvertedList& list : lists_) {
+      if (list.has_tombstones()) {
+        throw std::runtime_error(
+            "IvfIndex::save: v1 format cannot represent tombstones "
+            "(compact() before downgrading)");
+      }
+    }
+  }
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("IvfIndex::save: cannot open " + path);
   write_pod(os, kIvfMagic);
-  write_pod(os, kVersion);
+  write_pod(os, version);
   write_pod<std::uint64_t>(os, dim_);
   write_pod<std::uint64_t>(os, n_clusters_);
   write_pod<std::uint64_t>(os, n_points_);
@@ -100,6 +124,11 @@ void IvfIndex::save(const std::string& path) const {
   for (const InvertedList& list : lists_) {
     write_vec(os, list.ids);
     write_vec(os, list.codes);
+    if (version >= kIvfVersionV2) {
+      write_vec(os, list.tombstones);
+      write_pod<std::uint32_t>(os, list.generation);
+      write_pod<std::uint32_t>(os, list.compact_epoch);
+    }
   }
   if (!os) throw std::runtime_error("IvfIndex::save: write failed");
 }
@@ -110,7 +139,8 @@ IvfIndex IvfIndex::load(const std::string& path) {
   if (read_pod<std::uint32_t>(is) != kIvfMagic) {
     throw std::runtime_error("IvfIndex::load: bad magic");
   }
-  if (read_pod<std::uint32_t>(is) != kVersion) {
+  const std::uint32_t version = read_pod<std::uint32_t>(is);
+  if (version != kIvfVersionV1 && version != kIvfVersionV2) {
     throw std::runtime_error("IvfIndex::load: bad version");
   }
   IvfIndex idx;
@@ -126,16 +156,28 @@ IvfIndex IvfIndex::load(const std::string& path) {
     throw std::runtime_error("IvfIndex::load: PQ/index dim mismatch");
   }
   idx.lists_.resize(idx.n_clusters_);
-  std::size_t total = 0;
+  std::size_t total_live = 0;
   for (InvertedList& list : idx.lists_) {
     list.ids = read_vec<std::uint32_t>(is, kMaxElems);
     list.codes = read_vec<std::uint8_t>(is, kMaxElems);
     if (list.codes.size() != list.ids.size() * idx.pq_.m()) {
       throw std::runtime_error("IvfIndex::load: list size mismatch");
     }
-    total += list.ids.size();
+    if (version >= kIvfVersionV2) {
+      list.tombstones = read_vec<std::uint8_t>(is, kMaxElems);
+      if (!list.tombstones.empty() &&
+          list.tombstones.size() != list.ids.size()) {
+        throw std::runtime_error("IvfIndex::load: tombstone size mismatch");
+      }
+      list.n_tombstones = 0;
+      for (std::uint8_t t : list.tombstones) list.n_tombstones += t != 0;
+      if (list.n_tombstones == 0) list.tombstones.clear();
+      list.generation = read_pod<std::uint32_t>(is);
+      list.compact_epoch = read_pod<std::uint32_t>(is);
+    }
+    total_live += list.live_size();
   }
-  if (total != idx.n_points_) {
+  if (total_live != idx.n_points_) {
     throw std::runtime_error("IvfIndex::load: point count mismatch");
   }
   return idx;

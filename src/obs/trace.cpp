@@ -39,6 +39,7 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
   t.lanes.emplace_back(0, "host");
   t.lanes.emplace_back(1, "device");
   std::size_t max_dpu_lane = 0;
+  std::vector<std::size_t> patch_slices;  // lane fixed up once lanes are known
 
   const std::vector<BatchWindows> windows = pipeline_timeline(report);
   for (std::size_t b = 0; b < report.slots.size(); ++b) {
@@ -56,7 +57,16 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
       cursor += s.seconds;
     }
     cursor = w.device_start;
-    double launch_start = w.device_start;
+    // An incremental MRAM patch (mutations since the previous batch) leads
+    // the device phase: device_seconds already includes it, so the stage
+    // slices start after it and still end exactly at w.device_end.
+    if (slot.patch_seconds > 0) {
+      patch_slices.push_back(t.slices.size());
+      t.slices.push_back(
+          {"mram-patch", "patch", 0, cursor, slot.patch_seconds, b});
+      cursor += slot.patch_seconds;
+    }
+    double launch_start = cursor;
     for (; step < slot.report.trace.size(); ++step) {
       const core::StageStep& s = slot.report.trace[step];
       t.slices.push_back({s.name, "device", 1, cursor, s.seconds, b});
@@ -79,6 +89,13 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
   for (std::size_t d = 0; d <= max_dpu_lane; ++d) {
     t.lanes.emplace_back(static_cast<int>(2 + d),
                          "dpu-" + std::to_string(d));
+  }
+  // Patch lane only exists when some batch actually patched, so read-only
+  // runs export a byte-identical trace.
+  if (!patch_slices.empty()) {
+    const int lane = static_cast<int>(2 + max_dpu_lane + 1);
+    for (std::size_t i : patch_slices) t.slices[i].lane = lane;
+    t.lanes.emplace_back(lane, "mram-patch");
   }
   return t;
 }

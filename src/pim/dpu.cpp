@@ -66,6 +66,65 @@ void Dpu::mram_rewind(std::size_t mark) {
     throw std::logic_error("Dpu::mram_rewind past current size");
   }
   mram_.resize(mark);
+  // Free regions in the discarded tail no longer exist; truncate any that
+  // straddle the mark.
+  while (!free_regions_.empty()) {
+    FreeRegion& last = free_regions_.back();
+    if (last.off >= mark) {
+      free_regions_.pop_back();
+    } else if (last.off + last.bytes > mark) {
+      last.bytes = mark - last.off;
+      break;
+    } else {
+      break;
+    }
+  }
+}
+
+std::size_t Dpu::mram_alloc_reuse(std::size_t bytes, const char* tag) {
+  const std::size_t aligned = (bytes + 7) / 8 * 8;
+  for (std::size_t i = 0; i < free_regions_.size(); ++i) {
+    FreeRegion& r = free_regions_[i];
+    if (r.bytes < aligned) continue;
+    const std::size_t off = r.off;
+    if (r.bytes == aligned) {
+      free_regions_.erase(free_regions_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      r.off += aligned;
+      r.bytes -= aligned;
+    }
+    return off;
+  }
+  return mram_alloc(bytes, tag);
+}
+
+void Dpu::mram_release(std::size_t off, std::size_t bytes) {
+  const std::size_t aligned = (bytes + 7) / 8 * 8;
+  if (aligned == 0) return;
+  if (off + aligned > mram_.size()) {
+    throw std::logic_error("Dpu::mram_release outside allocated MRAM");
+  }
+  // Insert sorted by offset, coalescing with adjacent free neighbors.
+  auto it = std::lower_bound(
+      free_regions_.begin(), free_regions_.end(), off,
+      [](const FreeRegion& r, std::size_t o) { return r.off < o; });
+  it = free_regions_.insert(it, {off, aligned});
+  if (it + 1 != free_regions_.end() && it->off + it->bytes == (it + 1)->off) {
+    it->bytes += (it + 1)->bytes;
+    it = free_regions_.erase(it + 1) - 1;
+  }
+  if (it != free_regions_.begin() &&
+      (it - 1)->off + (it - 1)->bytes == it->off) {
+    (it - 1)->bytes += it->bytes;
+    free_regions_.erase(it);
+  }
+}
+
+std::size_t Dpu::mram_released_bytes() const {
+  std::size_t total = 0;
+  for (const FreeRegion& r : free_regions_) total += r.bytes;
+  return total;
 }
 
 void Dpu::host_write(std::size_t off, const void* src, std::size_t bytes) {

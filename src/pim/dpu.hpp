@@ -131,6 +131,17 @@ class Dpu {
   std::size_t mram_mark() const { return mram_.size(); }
   void mram_rewind(std::size_t mark);
 
+  /// Region reuse for updatable list images: mram_release returns a static
+  /// region to a free list, and mram_alloc_reuse prefers a released region
+  /// (first fit, splitting the remainder back) over growing the bump
+  /// allocator — so a list that outgrows its slack relocates without leaking
+  /// the abandoned region. Released regions below a rewind mark survive
+  /// rewinds; regions at or past the mark are dropped with the tail.
+  std::size_t mram_alloc_reuse(std::size_t bytes, const char* tag = "");
+  void mram_release(std::size_t off, std::size_t bytes);
+  /// Bytes currently sitting on the free list (reuse-visibility for tests).
+  std::size_t mram_released_bytes() const;
+
   /// Untimed host-side MRAM access (timing belongs to the transfer engine).
   void host_write(std::size_t off, const void* src, std::size_t bytes);
   void host_read(std::size_t off, void* dst, std::size_t bytes) const;
@@ -146,8 +157,14 @@ class Dpu {
   void reset_busy() { busy_cycles_ = 0; }
 
  private:
+  struct FreeRegion {
+    std::size_t off;
+    std::size_t bytes;
+  };
+
   std::uint32_t id_;
   std::vector<std::uint8_t> mram_;
+  std::vector<FreeRegion> free_regions_;  ///< sorted by offset, coalesced
   WramAllocator wram_;
   std::uint64_t busy_cycles_ = 0;
   // Launch-object pool: TaskletCtx/TaskletWork vectors reused across run()

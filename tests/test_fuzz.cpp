@@ -3,12 +3,17 @@
 // on curated fixtures. Seeds are fixed for reproducibility.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <set>
+#include <vector>
 
+#include "baselines/cpu_ivfpq.hpp"
 #include "common/rng.hpp"
 #include "core/cae.hpp"
 #include "core/scheduler.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/ivf_index.hpp"
 
 namespace upanns::core {
 namespace {
@@ -138,6 +143,133 @@ TEST_P(CaeFuzz, RoundTripOnRandomCodeTables) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CaeFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Streaming-mutation fuzz: random interleaved insert/remove/compact against
+// a test-maintained live mirror, with periodic search parity against a
+// rebuild-from-survivors oracle over the same frozen quantizers.
+
+struct MutationFixture {
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(1500, 33));
+  ivf::IvfIndex index = build();
+  data::Dataset queries;
+
+  ivf::IvfIndex build() {
+    ivf::IvfBuildOptions opts;
+    opts.n_clusters = 8;
+    opts.pq_m = 16;
+    opts.coarse_iters = 4;
+    opts.pq_iters = 3;
+    return ivf::IvfIndex::build(base, opts);
+  }
+
+  MutationFixture() {
+    data::WorkloadSpec spec;
+    spec.n_queries = 4;
+    spec.seed = 3;
+    queries = data::generate_workload(base, spec).queries;
+  }
+};
+
+MutationFixture& mutation_fixture() {
+  static MutationFixture f;
+  return f;
+}
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, InterleavedOpsTrackOracle) {
+  auto& f = mutation_fixture();
+  common::Rng rng(GetParam() * 7919);
+  ivf::IvfIndex idx = f.index;
+
+  // Live mirror: id -> vector, the ground truth the index must track.
+  std::map<std::uint32_t, std::vector<float>> live;
+  for (std::size_t i = 0; i < f.base.n; ++i) {
+    live[static_cast<std::uint32_t>(i)] = {f.base.row(i),
+                                           f.base.row(i) + f.base.dim};
+  }
+  std::uint32_t next_id = static_cast<std::uint32_t>(f.base.n);
+  std::vector<std::uint32_t> removed;
+
+  const auto verify = [&] {
+    ASSERT_EQ(idx.n_points(), live.size());
+    for (int probe = 0; probe < 8; ++probe) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      EXPECT_TRUE(idx.contains(it->first));
+    }
+    for (int probe = 0; probe < 4 && !removed.empty(); ++probe) {
+      EXPECT_FALSE(idx.contains(removed[rng.below(removed.size())]));
+    }
+
+    // Oracle: rebuild from the survivors in (cluster, slot) order — the
+    // searches must agree exactly, ids and distance bits.
+    ivf::IvfIndex oracle = ivf::IvfIndex::empty_like(idx);
+    std::vector<std::uint32_t> ids;
+    std::vector<float> flat;
+    for (const ivf::InvertedList& list : idx.lists()) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list.is_dead(i)) continue;
+        ids.push_back(list.ids[i]);
+        const auto& v = live.at(list.ids[i]);
+        flat.insert(flat.end(), v.begin(), v.end());
+      }
+    }
+    oracle.insert(ids, flat);
+
+    baselines::SearchParams params;
+    params.nprobe = idx.n_clusters();  // all lists: no filtering slack
+    params.k = 10;
+    const auto got =
+        baselines::CpuIvfpqSearcher(idx).search(f.queries, params);
+    const auto want =
+        baselines::CpuIvfpqSearcher(oracle).search(f.queries, params);
+    ASSERT_EQ(got.neighbors.size(), want.neighbors.size());
+    for (std::size_t q = 0; q < got.neighbors.size(); ++q) {
+      ASSERT_EQ(got.neighbors[q].size(), want.neighbors[q].size());
+      for (std::size_t i = 0; i < got.neighbors[q].size(); ++i) {
+        EXPECT_EQ(got.neighbors[q][i].id, want.neighbors[q][i].id)
+            << "query " << q << " rank " << i;
+        EXPECT_EQ(std::memcmp(&got.neighbors[q][i].dist,
+                              &want.neighbors[q][i].dist, sizeof(float)),
+                  0);
+      }
+    }
+  };
+
+  for (int op = 1; op <= 120; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+      const std::size_t burst = 1 + rng.below(4);
+      std::vector<std::uint32_t> ids;
+      std::vector<float> flat;
+      for (std::size_t i = 0; i < burst; ++i) {
+        const float* row = f.base.row(rng.below(f.base.n));
+        std::vector<float> v(row, row + f.base.dim);
+        for (float& x : v) x += rng.uniform(-0.05f, 0.05f);
+        ids.push_back(next_id);
+        live[next_id] = v;
+        flat.insert(flat.end(), v.begin(), v.end());
+        ++next_id;
+      }
+      idx.insert(ids, flat);
+    } else if (roll < 0.85 && live.size() > 100) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      ASSERT_TRUE(idx.remove(it->first));
+      removed.push_back(it->first);
+      live.erase(it);
+    } else {
+      idx.compact(rng.uniform() * 0.5);
+    }
+    if (op % 30 == 0) verify();
+  }
+  idx.compact();
+  verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Values(1, 2, 3, 4));
 
 }  // namespace
 }  // namespace upanns::core

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "core/dpu_kernel.hpp"
 #include "core/engine.hpp"
 #include "core/pipeline.hpp"
@@ -126,6 +128,51 @@ TEST(HotPath, BatchPipelineSlotsMatchFreshEngineSearch) {
   for (std::size_t b = 0; b < batches.size(); ++b) {
     expect_same_report(report.slots[b].report, fresh.search(batches[b]));
   }
+}
+
+TEST(HotPath, PatchThenServeCyclesStayAllocationFree) {
+  // Streaming updates must not re-warm the serving path: after a warm-up
+  // cycle, repeated (mutate, patch, serve) rounds grow no scratch arena —
+  // the patch rewrites MRAM in place (or within slack) and the pooled
+  // kernels just rebind.
+  auto& f = fixture();
+  ivf::IvfIndex mut = f.index;
+  UpAnnsEngine engine(mut, f.stats, f.options());
+  QueryPipeline pipeline(engine);
+
+  common::Rng rng(29);
+  std::uint32_t next_id = 1'000'000;
+  std::vector<std::uint32_t> inserted;
+  const auto cycle = [&] {
+    std::vector<std::uint32_t> ids;
+    std::vector<float> flat;
+    for (int i = 0; i < 4; ++i) {
+      const float* row = f.base.row(rng.below(f.base.n));
+      ids.push_back(next_id++);
+      for (std::size_t d = 0; d < f.base.dim; ++d) {
+        flat.push_back(row[d] + rng.uniform(-0.05f, 0.05f));
+      }
+    }
+    engine.upsert(ids, flat);
+    inserted.insert(inserted.end(), ids.begin(), ids.end());
+    if (inserted.size() > 8) {  // keep net growth bounded
+      std::vector<std::uint32_t> dead(inserted.begin(), inserted.begin() + 4);
+      inserted.erase(inserted.begin(), inserted.begin() + 4);
+      engine.remove(dead);
+    }
+    const auto ps = engine.patch_dpus();
+    EXPECT_GT(ps.bytes_written, 0u);
+    return pipeline.run(f.wl.queries, nullptr);
+  };
+
+  cycle();
+  cycle();  // warm: kernel pool built, scratch at steady-state capacity
+
+  const std::uint64_t before = hot_path_allocations();
+  cycle();
+  cycle();
+  const std::uint64_t after = hot_path_allocations();
+  EXPECT_EQ(before, after);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
 #include "ivf/ivf_index.hpp"
@@ -77,6 +80,135 @@ TEST(IvfSerialize, RoundTripPreservesSearchResults) {
     EXPECT_EQ(back.list(c).ids, f.index.list(c).ids);
     EXPECT_EQ(back.list(c).codes, f.index.list(c).codes);
   }
+}
+
+// Mutate a copy of the fixture index: a few inserts plus enough removes to
+// leave tombstones behind.
+ivf::IvfIndex mutated_copy() {
+  auto& f = fixture();
+  ivf::IvfIndex idx = f.index;
+  common::Rng rng(17);
+  std::vector<std::uint32_t> ids;
+  std::vector<float> flat;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const float* row = f.base.row(rng.below(f.base.n));
+    ids.push_back(1'000'000 + i);
+    for (std::size_t d = 0; d < f.base.dim; ++d) {
+      flat.push_back(row[d] + rng.uniform(-0.05f, 0.05f));
+    }
+  }
+  idx.insert(ids, flat);
+  for (int i = 0; i < 60; ++i) {
+    idx.remove(static_cast<std::uint32_t>(rng.below(f.base.n)));
+  }
+  return idx;
+}
+
+std::uint64_t total_tombstones(const ivf::IvfIndex& idx) {
+  std::uint64_t n = 0;
+  for (const ivf::InvertedList& list : idx.lists()) n += list.n_tombstones;
+  return n;
+}
+
+TEST(IvfSerialize, V2RoundTripPreservesMutationState) {
+  const ivf::IvfIndex idx = mutated_copy();
+  ASSERT_GT(total_tombstones(idx), 0u);
+
+  const std::string path = temp_path("v2.bin");
+  idx.save(path);
+  const ivf::IvfIndex back = ivf::IvfIndex::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.n_points(), idx.n_points());
+  EXPECT_EQ(total_tombstones(back), total_tombstones(idx));
+  for (std::size_t c = 0; c < idx.n_clusters(); ++c) {
+    const ivf::InvertedList& a = idx.list(c);
+    const ivf::InvertedList& b = back.list(c);
+    EXPECT_EQ(b.ids, a.ids);
+    EXPECT_EQ(b.codes, a.codes);
+    EXPECT_EQ(b.tombstones, a.tombstones);
+    EXPECT_EQ(b.n_tombstones, a.n_tombstones);
+    EXPECT_EQ(b.generation, a.generation);
+    EXPECT_EQ(b.compact_epoch, a.compact_epoch);
+  }
+  // The loaded index keeps serving mutations: removing a survivor works,
+  // removing an already-dead id does not.
+  ivf::IvfIndex again = back;
+  const std::uint32_t survivor = [&] {
+    for (const ivf::InvertedList& list : again.lists()) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (!list.is_dead(i)) return list.ids[i];
+      }
+    }
+    return 0u;
+  }();
+  EXPECT_TRUE(again.remove(survivor));
+  EXPECT_FALSE(again.remove(survivor));
+}
+
+TEST(IvfSerialize, V1GoldenHeaderAndBackCompat) {
+  auto& f = fixture();
+  const std::string path = temp_path("v1.bin");
+  f.index.save(path, 1);
+
+  // Golden bytes: a v1 file starts with magic "UIV1" and version 1, both
+  // little-endian u32 — pinned so old readers keep working.
+  {
+    std::ifstream is(path, std::ios::binary);
+    unsigned char header[8] = {};
+    is.read(reinterpret_cast<char*>(header), sizeof(header));
+    ASSERT_TRUE(is.good());
+    const unsigned char want[8] = {0x31, 0x56, 0x49, 0x55, 0x01, 0x00,
+                                   0x00, 0x00};
+    EXPECT_EQ(std::memcmp(header, want, sizeof(want)), 0);
+  }
+
+  // A v1 file loads into an index equal to the original.
+  const ivf::IvfIndex back = ivf::IvfIndex::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.n_points(), f.index.n_points());
+  for (std::size_t c = 0; c < back.n_clusters(); ++c) {
+    EXPECT_EQ(back.list(c).ids, f.index.list(c).ids);
+    EXPECT_EQ(back.list(c).codes, f.index.list(c).codes);
+    EXPECT_FALSE(back.list(c).has_tombstones());
+  }
+}
+
+TEST(IvfSerialize, V2GoldenHeader) {
+  const ivf::IvfIndex idx = mutated_copy();
+  const std::string path = temp_path("v2hdr.bin");
+  idx.save(path);
+  std::ifstream is(path, std::ios::binary);
+  unsigned char header[8] = {};
+  is.read(reinterpret_cast<char*>(header), sizeof(header));
+  is.close();
+  std::remove(path.c_str());
+  const unsigned char want[8] = {0x31, 0x56, 0x49, 0x55, 0x02, 0x00,
+                                 0x00, 0x00};
+  EXPECT_EQ(std::memcmp(header, want, sizeof(want)), 0);
+}
+
+TEST(IvfSerialize, V1SaveRequiresCompaction) {
+  ivf::IvfIndex idx = mutated_copy();
+  const std::string path = temp_path("v1_dirty.bin");
+  // Tombstones cannot be expressed in the v1 format.
+  EXPECT_THROW(idx.save(path, 1), std::runtime_error);
+
+  // After a full compaction the downgrade succeeds and round-trips.
+  idx.compact(0.0);
+  idx.save(path, 1);
+  const ivf::IvfIndex back = ivf::IvfIndex::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.n_points(), idx.n_points());
+  for (std::size_t c = 0; c < back.n_clusters(); ++c) {
+    EXPECT_EQ(back.list(c).ids, idx.list(c).ids);
+    EXPECT_EQ(back.list(c).codes, idx.list(c).codes);
+  }
+}
+
+TEST(IvfSerialize, UnknownVersionRejected) {
+  auto& f = fixture();
+  EXPECT_THROW(f.index.save(temp_path("v9.bin"), 9), std::runtime_error);
 }
 
 TEST(IvfSerialize, MissingFileThrows) {
