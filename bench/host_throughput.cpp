@@ -22,6 +22,7 @@
 #include "core/multihost.hpp"
 #include "core/pipeline.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 
 using namespace upanns;
 using namespace upanns::bench;
@@ -161,6 +162,7 @@ int main(int argc, char** argv) {
 
   obs::JsonWriter w;
   w.begin_object();
+  obs::append_provenance(w);
   w.kv("schema", "upanns.bench_host.v1");
   w.kv("quick", quick);
   w.key("config").begin_object();

@@ -1,0 +1,285 @@
+// metrics_diff — the telemetry regression gate. Compares a freshly produced
+// metrics snapshot (upanns_cli serve --metrics-out) against a committed
+// baseline and fails when a pipeline stage's share of the simulated batch
+// time regressed beyond tolerance.
+//
+//   metrics_diff --baseline BENCH_metrics.json --current metrics.json
+//                [--tolerance 0.10] [--min-share 0.02] [--out report.json]
+//
+// Comparisons are ratio-normalized like the host-throughput gate: each
+// stage's mean simulated seconds is divided by the sum of all stage means,
+// so the gate tracks *shape* regressions (one stage growing at the others'
+// expense) independent of workload size, and additionally checks the
+// absolute mean of the end-to-end batch histograms (pipeline.batch.seconds /
+// multihost.batch.seconds) and of query.latency_seconds, which are
+// deterministic simulated quantities.
+//
+// Exit codes: 0 = pass, 1 = regression, 2 = artifacts not comparable
+// (missing/mismatched provenance schema, or different workload shape).
+// The git sha is deliberately NOT compared — the whole point is comparing
+// across commits; only the schema version gates comparability.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/report_json.hpp"
+#include "obs/trace.hpp"
+
+using namespace upanns;
+
+namespace {
+
+struct Artifact {
+  std::string path;
+  std::string schema_version;
+  std::string git_sha;
+  obs::MetricsSnapshot snapshot;
+  std::uint64_t n_queries = 0;  ///< pipeline.queries / multihost share
+};
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Artifact load_artifact(const std::string& path) {
+  Artifact a;
+  a.path = path;
+  const obs::JsonValue doc = obs::json_parse(read_text_file(path));
+  if (!doc.has("provenance")) {
+    throw std::runtime_error(path + ": no provenance header (not a telemetry "
+                                    "artifact, or written by a pre-telemetry "
+                                    "build)");
+  }
+  a.schema_version = doc.at("provenance").at("schema_version").string;
+  a.git_sha = doc.at("provenance").at("git_sha").string;
+  if (!doc.has("metrics")) {
+    throw std::runtime_error(path + ": no metrics snapshot");
+  }
+  a.snapshot = obs::snapshot_from_json(doc.at("metrics"));
+  for (const auto& c : a.snapshot.counters) {
+    if (c.name == "pipeline.queries" || c.name == "multihost.queries") {
+      a.n_queries += c.value;
+    }
+  }
+  return a;
+}
+
+const obs::MetricsSnapshot::HistogramValue* find_histogram(
+    const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double mean_of(const obs::MetricsSnapshot::HistogramValue& h) {
+  return h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+}
+
+/// `pipeline.stage.<name>.seconds` -> `<name>`, or "" for other series.
+std::string stage_of(const std::string& name) {
+  constexpr const char* kPrefix = "pipeline.stage.";
+  constexpr const char* kSuffix = ".seconds";
+  if (name.rfind(kPrefix, 0) != 0) return "";
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) return "";
+  if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                   kSuffix) != 0) {
+    return "";
+  }
+  return name.substr(std::strlen(kPrefix),
+                     name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+}
+
+struct Row {
+  std::string name;       ///< stage or histogram being compared
+  std::string kind;       ///< "stage-share" or "mean-seconds"
+  double base = 0, cur = 0;
+  double ratio = 1;       ///< cur / base (1 when base == 0)
+  bool regressed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, out_path;
+  double tolerance = 0.10;
+  double min_share = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    auto val = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = val("--baseline");
+    } else if (std::strcmp(argv[i], "--current") == 0) {
+      current_path = val("--current");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = val("--out");
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      tolerance = std::strtod(val("--tolerance"), nullptr);
+    } else if (std::strcmp(argv[i], "--min-share") == 0) {
+      min_share = std::strtod(val("--min-share"), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: metrics_diff --baseline B.json --current C.json\n"
+                   "                    [--tolerance %.2f] [--min-share %.2f]\n"
+                   "                    [--out report.json]\n",
+                   tolerance, min_share);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "metrics_diff: --baseline and --current are required\n");
+    return 2;
+  }
+
+  Artifact base, cur;
+  try {
+    base = load_artifact(baseline_path);
+    cur = load_artifact(current_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics_diff: %s\n", e.what());
+    return 2;
+  }
+  if (base.schema_version != cur.schema_version) {
+    std::fprintf(stderr,
+                 "metrics_diff: schema mismatch: baseline %s (%s) vs current "
+                 "%s (%s) — regenerate the baseline with this build\n",
+                 base.schema_version.c_str(), base.git_sha.c_str(),
+                 cur.schema_version.c_str(), cur.git_sha.c_str());
+    return 2;
+  }
+  if (base.n_queries != cur.n_queries) {
+    std::fprintf(stderr,
+                 "metrics_diff: workload mismatch: baseline served %llu "
+                 "queries, current %llu — not comparable\n",
+                 static_cast<unsigned long long>(base.n_queries),
+                 static_cast<unsigned long long>(cur.n_queries));
+    return 2;
+  }
+
+  std::vector<Row> rows;
+
+  // Stage shares: each stage's mean seconds normalized by the sum of stage
+  // means, compared base vs current. Only stages carrying at least
+  // --min-share of the baseline total can fail the gate (tiny stages have
+  // noisy shares and regress in absolute terms via the batch mean below).
+  std::map<std::string, double> base_means, cur_means;
+  double base_total = 0, cur_total = 0;
+  for (const auto& h : base.snapshot.histograms) {
+    if (const std::string s = stage_of(h.name); !s.empty()) {
+      base_means[s] = mean_of(h);
+      base_total += base_means[s];
+    }
+  }
+  for (const auto& h : cur.snapshot.histograms) {
+    if (const std::string s = stage_of(h.name); !s.empty()) {
+      cur_means[s] = mean_of(h);
+      cur_total += cur_means[s];
+    }
+  }
+  for (const auto& [stage, bm] : base_means) {
+    const auto it = cur_means.find(stage);
+    if (it == cur_means.end()) continue;
+    const double bs = base_total > 0 ? bm / base_total : 0;
+    const double cs = cur_total > 0 ? it->second / cur_total : 0;
+    Row r;
+    r.name = stage;
+    r.kind = "stage-share";
+    r.base = bs;
+    r.cur = cs;
+    r.ratio = bs > 0 ? cs / bs : 1.0;
+    r.regressed = bs >= min_share && cs > bs * (1.0 + tolerance);
+    rows.push_back(std::move(r));
+    // Shares are bounded by 1, so a regression in the *dominant* stage
+    // barely moves its own share. Simulated stage seconds are deterministic
+    // for an identical workload, so the absolute per-stage mean is also
+    // gated for stages that carry weight.
+    Row m;
+    m.name = stage;
+    m.kind = "stage-mean";
+    m.base = bm;
+    m.cur = it->second;
+    m.ratio = bm > 0 ? it->second / bm : 1.0;
+    m.regressed = bs >= min_share && it->second > bm * (1.0 + tolerance);
+    rows.push_back(std::move(m));
+  }
+
+  // End-to-end means: deterministic simulated quantities, compared directly.
+  for (const char* name : {"pipeline.batch.seconds", "multihost.batch.seconds",
+                           "query.latency_seconds",
+                           "mutate.patch.seconds"}) {
+    const auto* bh = find_histogram(base.snapshot, name);
+    const auto* ch = find_histogram(cur.snapshot, name);
+    if (bh == nullptr || ch == nullptr) continue;
+    Row r;
+    r.name = name;
+    r.kind = "mean-seconds";
+    r.base = mean_of(*bh);
+    r.cur = mean_of(*ch);
+    r.ratio = r.base > 0 ? r.cur / r.base : 1.0;
+    r.regressed = r.base > 0 && r.cur > r.base * (1.0 + tolerance);
+    rows.push_back(std::move(r));
+  }
+
+  bool failed = false;
+  std::printf("metrics_diff: %s vs %s (schema %s, tolerance %.0f%%)\n",
+              baseline_path.c_str(), current_path.c_str(),
+              base.schema_version.c_str(), tolerance * 100.0);
+  for (const auto& r : rows) {
+    std::printf("  %-12s %-24s base %.6g  cur %.6g  ratio %.3f  %s\n",
+                r.kind.c_str(), r.name.c_str(), r.base, r.cur, r.ratio,
+                r.regressed ? "REGRESSED" : "ok");
+    failed = failed || r.regressed;
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "metrics_diff: no comparable series found\n");
+    return 2;
+  }
+
+  if (!out_path.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    obs::append_provenance(w);
+    w.kv("baseline", baseline_path);
+    w.kv("baseline_git_sha", base.git_sha);
+    w.kv("current", current_path);
+    w.kv("current_git_sha", cur.git_sha);
+    w.kv("tolerance", tolerance);
+    w.kv("min_share", min_share);
+    w.kv("verdict", failed ? "fail" : "pass");
+    w.key("rows").begin_array();
+    for (const auto& r : rows) {
+      w.begin_object();
+      w.kv("name", r.name);
+      w.kv("kind", r.kind);
+      w.kv("base", r.base);
+      w.kv("current", r.cur);
+      w.kv("ratio", r.ratio);
+      w.kv("regressed", r.regressed);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    obs::write_text_file(out_path, w.take());
+    std::printf("wrote diff report to %s\n", out_path.c_str());
+  }
+
+  std::printf("metrics_diff: %s\n", failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
+}

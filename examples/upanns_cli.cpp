@@ -6,35 +6,57 @@
 //   upanns_cli tune   --index index.bin --data base.fvecs --recall 0.8
 //   upanns_cli search --index index.bin --data base.fvecs --nprobe 16
 //                     --queries 64 --k 10 --dpus 128 --system upanns
-//                     [--metrics-out metrics.json]
+//                     [--metrics-out metrics.json] [--prom-out metrics.prom]
 //   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
 //                     --batch 64 [--hosts 4] [--no-overlap]
 //                     [--update-rate 0.05 [--compact-ratio 0.3]]
 //                     [--trace-out trace.json] [--metrics-out metrics.json]
+//                     [--spans-out spans.json] [--prom-out metrics.prom]
+//                     [--stats-every N --window-seconds W --window-slots S]
+//   upanns_cli stats  --metrics metrics.json [--prom-out metrics.prom]
+//                     [--watch --interval-ms 1000 --iterations K]
 //
 // `search` drives any backend (cpu, gpu, upanns, naive, multihost) through
 // the common core::AnnsBackend interface; `serve` streams query batches
 // through the double-buffered core::BatchPipeline — or, with `--hosts N`,
 // through the overlapped multi-host core::MultiHostBatchPipeline (network
 // modeled via --net-gbps / --net-latency-us). `--update-rate R` mixes writes
-// into the stream (single-host only): before each batch, ~R * batch_size
+// into the stream (single- or multi-host): before each batch, ~R * batch_size
 // mutations are issued — half inserts of perturbed base vectors under fresh
 // ids, half removes of random live ids — then applied as one incremental
 // MRAM patch instead of a full reload; lists whose tombstone share exceeds
-// --compact-ratio are compacted along the way. `--trace-out` writes a Chrome/Perfetto
-// trace of the run (load at ui.perfetto.dev); `--metrics-out` writes the
-// report plus a metrics-registry snapshot as JSON. Flags accept both
-// `--key value` and `--key=value`; `--log-level debug|info|warn|error`
-// (or the UPANNS_LOG environment variable) sets log verbosity anywhere.
+// --compact-ratio are compacted along the way.
+//
+// Telemetry outputs: `--trace-out` writes a Chrome/Perfetto trace of the run
+// (load at ui.perfetto.dev); `--metrics-out` writes the report plus a
+// metrics-registry snapshot (with build provenance) as JSON; `--spans-out`
+// writes the per-query span forest (obs/span.hpp); `--prom-out` writes the
+// snapshot as Prometheus text exposition. When spans are recorded the
+// Perfetto trace nests them as async events. `--stats-every N` replays the
+// run's simulated timeline after the fact, printing the rolling-window
+// p50/p99/p999 and rate every N batches (`--window-seconds` /
+// `--window-slots` shape the window). Existing output files are never
+// silently overwritten — pass `--force` to clobber. `stats` renders a
+// previously written metrics JSON as a table (and optionally Prometheus
+// text); `--watch` re-reads the file periodically, tailing a live run.
+//
+// Flags accept both `--key value` and `--key=value`; `--log-level
+// debug|info|warn|error` (or the UPANNS_LOG environment variable) sets log
+// verbosity anywhere.
 //
 // `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
 // substituted for the synthetic data at any step.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -50,7 +72,10 @@
 #include "ivf/cluster_stats.hpp"
 #include "metrics/report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report_json.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 using namespace upanns;
@@ -100,6 +125,127 @@ data::DatasetFamily family_of(const std::string& name) {
   if (name == "spacev") return data::DatasetFamily::kSpacevLike;
   return data::DatasetFamily::kSiftLike;
 }
+
+/// Fail fast (before the run burns any time) when an output path would
+/// clobber an existing file and --force was not passed. The actual writes
+/// go through obs::write_text_file_guarded as a second line of defense.
+void guard_outputs(const std::vector<std::string>& paths, bool force) {
+  if (force) return;
+  for (const auto& p : paths) {
+    if (!p.empty() && obs::file_exists(p)) {
+      common::log_warn("output file ", p, " already exists");
+      throw std::runtime_error("refusing to overwrite existing file " + p +
+                               " (pass --force to overwrite)");
+    }
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// {"provenance": ..., "<report_key>": ..., "metrics": ...} — the common
+/// shape of every CLI metrics artifact; bench/metrics_diff keys off the
+/// provenance header to refuse cross-schema comparisons.
+void write_metrics_json(const std::string& path, const char* report_key,
+                        const std::string& report_json,
+                        const obs::MetricsSnapshot& snapshot, bool force) {
+  obs::JsonWriter w;
+  w.begin_object();
+  obs::append_provenance(w);
+  w.key(report_key).raw(report_json);
+  w.key("metrics").raw(obs::snapshot_json(snapshot));
+  w.end_object();
+  obs::write_text_file_guarded(path, w.take(), force);
+  std::printf("wrote metrics JSON to %s\n", path.c_str());
+}
+
+/// One batch's contribution to the post-run rolling-window replay.
+struct BatchSample {
+  double t_end = 0;    ///< simulated completion time of the batch
+  double latency = 0;  ///< per-query latency attributed to the batch
+  std::uint64_t nq = 0;
+};
+
+/// `--stats-every N`: replay the run's simulated timeline through a fresh
+/// rolling window and print the live p50/p99/p999/rate every N batches —
+/// the same numbers a scrape of the wired-in window would have shown at
+/// those simulated instants.
+void replay_window_stats(const obs::WindowOptions& wopts, std::size_t every,
+                         const std::vector<BatchSample>& samples) {
+  obs::WindowedHistogram win(wopts, obs::Histogram::default_time_bounds());
+  std::printf("rolling window stats (width %.1f s, %zu slots), every %zu "
+              "batch(es):\n",
+              wopts.width_seconds, wopts.slots, every);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    win.observe(samples[i].t_end, samples[i].latency, samples[i].nq);
+    if ((i + 1) % every == 0 || i + 1 == samples.size()) {
+      std::printf("  t=%10.3f ms  p50=%.4f ms  p99=%.4f ms  p999=%.4f ms  "
+                  "rate=%.1f q/s  n=%llu\n",
+                  samples[i].t_end * 1e3, win.quantile(0.5) * 1e3,
+                  win.quantile(0.99) * 1e3, win.quantile(0.999) * 1e3,
+                  win.rate(),
+                  static_cast<unsigned long long>(win.count()));
+    }
+  }
+}
+
+/// Mixed read/write stream shared by the single- and multi-host serve
+/// paths: before batch b, issue ~rate * batch_size writes (half fresh-id
+/// inserts of perturbed base rows, half removes of random live ids) against
+/// any target exposing upsert/remove/compact, then compact.
+struct UpdateStream {
+  const data::Dataset& ds;
+  const std::vector<data::Dataset>& batches;
+  double rate;
+  double compact_ratio;
+  common::Rng rng;
+  std::vector<std::uint32_t> live;
+  std::uint32_t next_id = 0;
+  std::size_t n_upserts = 0, n_removes = 0;
+
+  UpdateStream(const data::Dataset& ds, const std::vector<data::Dataset>& b,
+               double rate, double compact_ratio, std::size_t seed,
+               std::size_t n_points)
+      : ds(ds), batches(b), rate(rate), compact_ratio(compact_ratio),
+        rng(seed * 7919 + 13), live(n_points) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i] = static_cast<std::uint32_t>(i);
+      next_id = std::max(next_id, live[i] + 1);
+    }
+  }
+
+  template <typename Target>
+  void issue(Target& target, std::size_t b) {
+    const std::size_t writes = static_cast<std::size_t>(
+        rate * static_cast<double>(batches[b].n) + 0.5);
+    std::vector<float> vec(ds.dim);
+    for (std::size_t w = 0; w < writes; ++w) {
+      if (w % 2 == 0 || live.empty()) {
+        const float* base = ds.row(rng.below(ds.n));
+        for (std::size_t j = 0; j < ds.dim; ++j) {
+          vec[j] = base[j] + rng.uniform(-0.05f, 0.05f);
+        }
+        const std::uint32_t id = next_id++;
+        target.upsert({&id, 1}, {vec.data(), vec.size()});
+        live.push_back(id);
+        ++n_upserts;
+      } else {
+        const std::size_t pick = rng.below(live.size());
+        const std::uint32_t id = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        target.remove({&id, 1});
+        ++n_removes;
+      }
+    }
+    target.compact(compact_ratio);
+  }
+};
 
 int cmd_gen(const Args& a) {
   const auto family = family_of(a.str("family", "sift"));
@@ -198,8 +344,13 @@ int cmd_search(const Args& a) {
     backend = core::make_backend(*kind, index, stats, opts);
   }
   obs::MetricsRegistry registry;
+  const bool force = a.flag("force");
   const std::string metrics_out = a.str("metrics-out", "");
-  if (!metrics_out.empty()) backend->set_metrics(&registry);
+  const std::string prom_out = a.str("prom-out", "");
+  guard_outputs({metrics_out, prom_out}, force);
+  if (!metrics_out.empty() || !prom_out.empty()) {
+    backend->set_metrics(&registry);
+  }
   const auto r = backend->search(wl.queries);
 
   const auto gt = data::exact_topk(ds, wl.queries, opts.k);
@@ -223,13 +374,14 @@ int cmd_search(const Args& a) {
     std::printf("\n");
   }
   if (!metrics_out.empty()) {
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("search_report").raw(obs::search_report_json(r));
-    w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
-    w.end_object();
-    obs::write_text_file(metrics_out, w.take());
-    std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
+    write_metrics_json(metrics_out, "search_report", obs::search_report_json(r),
+                       registry.snapshot(), force);
+  }
+  if (!prom_out.empty()) {
+    obs::write_text_file_guarded(prom_out,
+                                 obs::prometheus_text(registry.snapshot()),
+                                 force);
+    std::printf("wrote Prometheus text to %s\n", prom_out.c_str());
   }
   return 0;
 }
@@ -254,10 +406,31 @@ int cmd_serve(const Args& a) {
   opts.n_dpus = a.num("dpus", 128);
   opts.nprobe = nprobe;
   opts.k = a.num("k", 10);
-  obs::MetricsRegistry registry;
+
+  const bool force = a.flag("force");
   const std::string trace_out = a.str("trace-out", "");
   const std::string metrics_out = a.str("metrics-out", "");
+  const std::string spans_out = a.str("spans-out", "");
+  const std::string prom_out = a.str("prom-out", "");
+  const std::size_t stats_every = a.num("stats-every", 0);
+  guard_outputs({trace_out, metrics_out, spans_out, prom_out}, force);
+
+  obs::MetricsRegistry registry;
+  registry.set_window_options(
+      {a.real("window-seconds", 10.0), a.num("window-slots", 20)});
+  // The registry is attached only when some output actually consumes it —
+  // a plain `--trace-out` run stays sink-free and byte-identical to a run
+  // with no telemetry flags at all.
+  const bool want_metrics =
+      !metrics_out.empty() || !prom_out.empty() || stats_every > 0;
+  obs::SpanLog spans;
+  const bool want_spans = !spans_out.empty();
+
   const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
+  const double update_rate = a.real("update-rate", 0.0);
+  const double compact_ratio = a.real("compact-ratio", 0.3);
+  UpdateStream updates(ds, batches, update_rate, compact_ratio,
+                       a.num("seed", 5), index.n_points());
 
   // --hosts N > 1: shard across a simulated multi-host cluster and stream
   // the batches through the overlapped multi-host pipeline.
@@ -267,13 +440,20 @@ int cmd_serve(const Args& a) {
     mh.per_host = opts;
     mh.network_bandwidth = a.real("net-gbps", 25.0) * 1e9 / 8.0;
     mh.network_latency = a.real("net-latency-us", 50.0) * 1e-6;
+    // `index` is a non-const lvalue, so this picks the updatable cluster —
+    // identical to read-only serving until a mutation is actually issued.
     core::MultiHostUpAnns cluster(index, stats, mh);
-    if (!metrics_out.empty()) cluster.set_metrics(&registry);
+    if (want_metrics) cluster.set_metrics(&registry);
+    if (want_spans) cluster.set_spans(&spans);
 
+    core::MultiHostBatchPipeline::MutationHook hook;
+    if (update_rate > 0) {
+      hook = [&](std::size_t b) { updates.issue(cluster, b); };
+    }
     core::MultiHostPipelineOptions popts;
     popts.overlap = !a.flag("no-overlap");
     core::MultiHostBatchPipeline pipeline(cluster, popts);
-    const auto run = pipeline.run(batches);
+    const auto run = pipeline.run(batches, hook);
 
     std::printf("served %zu queries in %zu batches on %zu hosts "
                 "(%zu active, %s)\n",
@@ -283,6 +463,18 @@ int cmd_serve(const Args& a) {
     std::printf("simulated elapsed %.3f ms (synchronous sum %.3f ms), "
                 "QPS=%.1f\n",
                 run.elapsed_seconds * 1e3, run.serial_seconds * 1e3, run.qps);
+    if (update_rate > 0) {
+      std::uint64_t patch_bytes = 0;
+      double patch_ms = 0;
+      for (const auto& slot : run.slots) {
+        patch_bytes += slot.patch_bytes;
+        patch_ms += slot.patch_seconds * 1e3;
+      }
+      std::printf("writes: %zu upserts, %zu removes; %llu patch bytes in "
+                  "%.3f ms across the fleet\n",
+                  updates.n_upserts, updates.n_removes,
+                  static_cast<unsigned long long>(patch_bytes), patch_ms);
+    }
     for (std::size_t i = 0; i < run.slots.size(); ++i) {
       std::printf("  batch %2zu: pre %.4f ms, device %.4f ms, post %.4f ms\n",
                   i, run.slots[i].pre_seconds * 1e3,
@@ -294,18 +486,37 @@ int cmd_serve(const Args& a) {
       }
     }
     if (!trace_out.empty()) {
-      obs::write_multihost_trace_file(trace_out, run);
+      const auto trace = obs::multihost_trace(run);
+      obs::write_text_file_guarded(
+          trace_out, obs::trace_json(trace, want_spans ? &spans : nullptr),
+          force);
       std::printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n",
                   trace_out.c_str());
     }
+    if (!spans_out.empty()) {
+      obs::write_text_file_guarded(spans_out, obs::span_log_json(spans), force);
+      std::printf("wrote %zu spans to %s\n", spans.size(), spans_out.c_str());
+    }
     if (!metrics_out.empty()) {
-      obs::JsonWriter w;
-      w.begin_object();
-      w.key("multihost_pipeline").raw(obs::multi_host_pipeline_json(run));
-      w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
-      w.end_object();
-      obs::write_text_file(metrics_out, w.take());
-      std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
+      write_metrics_json(metrics_out, "multihost_pipeline",
+                         obs::multi_host_pipeline_json(run),
+                         registry.snapshot(), force);
+    }
+    if (!prom_out.empty()) {
+      obs::write_text_file_guarded(prom_out,
+                                   obs::prometheus_text(registry.snapshot()),
+                                   force);
+      std::printf("wrote Prometheus text to %s\n", prom_out.c_str());
+    }
+    if (stats_every > 0) {
+      const auto timeline = core::multihost_timeline(run);
+      std::vector<BatchSample> samples(timeline.size());
+      for (std::size_t i = 0; i < timeline.size(); ++i) {
+        samples[i] = {timeline[i].post_end,
+                      timeline[i].post_end - timeline[i].pre_start,
+                      batches[i].n};
+      }
+      replay_window_stats(registry.window_options(), stats_every, samples);
     }
     return 0;
   }
@@ -313,53 +524,16 @@ int cmd_serve(const Args& a) {
   // `index` is a non-const lvalue, so this picks the updatable backend —
   // identical to read-only serving until a mutation is actually issued.
   core::UpAnnsBackend backend(index, stats, opts);
-  if (!metrics_out.empty()) backend.set_metrics(&registry);
+  if (want_metrics) backend.set_metrics(&registry);
+  if (want_spans) backend.engine().set_spans(&spans);
 
   core::BatchPipelineOptions popts;
   popts.overlap = !a.flag("no-overlap");
   core::BatchPipeline pipeline(backend.engine(), popts);
 
-  // --update-rate R: mixed read/write stream. Before each batch, issue
-  // ~R * batch_size writes (half fresh-id inserts of perturbed base rows,
-  // half removes of random live ids); the pipeline folds the resulting
-  // incremental MRAM patch into that batch's device phase.
-  const double update_rate = a.real("update-rate", 0.0);
-  const double compact_ratio = a.real("compact-ratio", 0.3);
   core::BatchPipeline::MutationHook hook;
-  common::Rng rng(a.num("seed", 5) * 7919 + 13);
-  std::vector<std::uint32_t> live(index.n_points());
-  std::uint32_t next_id = 0;
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    live[i] = static_cast<std::uint32_t>(i);
-    next_id = std::max(next_id, live[i] + 1);
-  }
-  std::size_t n_upserts = 0, n_removes = 0;
   if (update_rate > 0) {
-    hook = [&](std::size_t b) {
-      const std::size_t writes = static_cast<std::size_t>(
-          update_rate * static_cast<double>(batches[b].n) + 0.5);
-      std::vector<float> vec(ds.dim);
-      for (std::size_t w = 0; w < writes; ++w) {
-        if (w % 2 == 0 || live.empty()) {
-          const float* base = ds.row(rng.below(ds.n));
-          for (std::size_t j = 0; j < ds.dim; ++j) {
-            vec[j] = base[j] + rng.uniform(-0.05f, 0.05f);
-          }
-          const std::uint32_t id = next_id++;
-          backend.upsert({&id, 1}, {vec.data(), vec.size()});
-          live.push_back(id);
-          ++n_upserts;
-        } else {
-          const std::size_t pick = rng.below(live.size());
-          const std::uint32_t id = live[pick];
-          live[pick] = live.back();
-          live.pop_back();
-          backend.remove({&id, 1});
-          ++n_removes;
-        }
-      }
-      backend.engine().compact(compact_ratio);
-    };
+    hook = [&](std::size_t b) { updates.issue(backend.engine(), b); };
   }
   const auto run = pipeline.run(batches, hook);
 
@@ -377,7 +551,7 @@ int cmd_serve(const Args& a) {
     }
     std::printf("writes: %zu upserts, %zu removes; %llu patch bytes in "
                 "%.3f ms (full image %llu bytes)\n",
-                n_upserts, n_removes,
+                updates.n_upserts, updates.n_removes,
                 static_cast<unsigned long long>(patch_bytes), patch_ms,
                 static_cast<unsigned long long>(
                     backend.engine().load_image_bytes()));
@@ -400,36 +574,153 @@ int cmd_serve(const Args& a) {
     }
   }
   if (!trace_out.empty()) {
-    obs::write_trace_file(trace_out, run);
+    const auto trace = obs::pipeline_trace(run);
+    obs::write_text_file_guarded(
+        trace_out, obs::trace_json(trace, want_spans ? &spans : nullptr),
+        force);
     std::printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n",
                 trace_out.c_str());
   }
+  if (!spans_out.empty()) {
+    obs::write_text_file_guarded(spans_out, obs::span_log_json(spans), force);
+    std::printf("wrote %zu spans to %s\n", spans.size(), spans_out.c_str());
+  }
   if (!metrics_out.empty()) {
-    obs::JsonWriter w;
-    w.begin_object();
-    w.key("batch_pipeline").raw(obs::batch_pipeline_json(run));
-    w.key("metrics").raw(obs::snapshot_json(registry.snapshot()));
-    w.end_object();
-    obs::write_text_file(metrics_out, w.take());
-    std::printf("wrote metrics JSON to %s\n", metrics_out.c_str());
+    write_metrics_json(metrics_out, "batch_pipeline",
+                       obs::batch_pipeline_json(run), registry.snapshot(),
+                       force);
+  }
+  if (!prom_out.empty()) {
+    obs::write_text_file_guarded(prom_out,
+                                 obs::prometheus_text(registry.snapshot()),
+                                 force);
+    std::printf("wrote Prometheus text to %s\n", prom_out.c_str());
+  }
+  if (stats_every > 0) {
+    const auto timeline = obs::pipeline_timeline(run);
+    std::vector<BatchSample> samples(timeline.size());
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      samples[i] = {timeline[i].device_end,
+                    timeline[i].device_end - timeline[i].host_start,
+                    batches[i].n};
+    }
+    replay_window_stats(registry.window_options(), stats_every, samples);
+  }
+  return 0;
+}
+
+/// Render one metrics snapshot (parsed back from a metrics JSON artifact)
+/// as stdout tables.
+void print_snapshot(const obs::MetricsSnapshot& s) {
+  if (!s.counters.empty()) {
+    metrics::Table t({"counter", "value"});
+    for (const auto& c : s.counters) {
+      t.add_row({c.name, std::to_string(c.value)});
+    }
+    t.print();
+  }
+  if (!s.gauges.empty()) {
+    metrics::Table t({"gauge", "value"});
+    for (const auto& g : s.gauges) {
+      t.add_row({g.name, metrics::Table::fmt(g.value, 6)});
+    }
+    t.print();
+  }
+  if (!s.histograms.empty()) {
+    metrics::Table t({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& h : s.histograms) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      t.add_row({h.name, std::to_string(h.count), metrics::Table::fmt(mean, 6),
+                 metrics::Table::fmt(h.p50, 6), metrics::Table::fmt(h.p90, 6),
+                 metrics::Table::fmt(h.p99, 6)});
+    }
+    t.print();
+  }
+  if (!s.windows.empty()) {
+    metrics::Table t(
+        {"window", "width_s", "count", "rate", "p50", "p99", "p999"});
+    for (const auto& w : s.windows) {
+      t.add_row({w.name, metrics::Table::fmt(w.width_seconds, 1),
+                 std::to_string(w.count), metrics::Table::fmt(w.rate, 1),
+                 metrics::Table::fmt(w.p50, 6), metrics::Table::fmt(w.p99, 6),
+                 metrics::Table::fmt(w.p999, 6)});
+    }
+    t.print();
+  }
+}
+
+int cmd_stats(const Args& a) {
+  const std::string path = a.str("metrics", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "stats: --metrics M.json is required\n");
+    return 1;
+  }
+  const bool force = a.flag("force");
+  const bool watch = a.flag("watch");
+  const std::string prom_out = a.str("prom-out", "");
+  const std::size_t interval_ms = a.num("interval-ms", 1000);
+  // --watch with no --iterations tails forever (ctrl-C to stop); a bare
+  // `stats` prints once.
+  const std::size_t iterations = a.num("iterations", watch ? 0 : 1);
+  guard_outputs({prom_out}, force);
+
+  std::size_t iter = 0;
+  for (;;) {
+    const obs::JsonValue doc = obs::json_parse(read_text_file(path));
+    // Accept either a full CLI artifact ({"provenance", "<report>",
+    // "metrics"}) or a bare snapshot document.
+    const obs::JsonValue& snap_json =
+        doc.has("metrics") ? doc.at("metrics") : doc;
+    const obs::MetricsSnapshot snap = obs::snapshot_from_json(snap_json);
+
+    if (iter > 0) std::printf("\n");
+    if (doc.has("provenance")) {
+      const auto& p = doc.at("provenance");
+      std::printf("%s  (schema %s, commit %s, %s build)\n", path.c_str(),
+                  p.at("schema_version").string.c_str(),
+                  p.at("git_sha").string.c_str(),
+                  p.at("build_type").string.c_str());
+    } else {
+      std::printf("%s\n", path.c_str());
+    }
+    print_snapshot(snap);
+
+    if (!prom_out.empty()) {
+      // First write honors the overwrite guard; later --watch refreshes of
+      // the same file intentionally overwrite our own output.
+      obs::write_text_file_guarded(prom_out, obs::prometheus_text(snap),
+                                   force || iter > 0);
+      if (iter == 0) {
+        std::printf("wrote Prometheus text to %s\n", prom_out.c_str());
+      }
+    }
+    ++iter;
+    if (iterations > 0 && iter >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: upanns_cli <gen|build|tune|search|serve> [--key value ...]\n"
+               "usage: upanns_cli <gen|build|tune|search|serve|stats> [--key value ...]\n"
                "  gen    --family sift|deep|spacev --n N --out F.fvecs\n"
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
                "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
                "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n"
                "         --system cpu|gpu|upanns|naive|multihost [--hosts N]\n"
-               "         [--metrics-out M.json]\n"
+               "         [--metrics-out M.json] [--prom-out M.prom]\n"
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
                "         [--hosts N --net-gbps G --net-latency-us U]\n"
                "         [--update-rate R --compact-ratio C]\n"
                "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"
-               "common: --log-level debug|info|warn|error (or UPANNS_LOG env)\n");
+               "         [--spans-out S.json] [--prom-out M.prom]\n"
+               "         [--stats-every N --window-seconds W --window-slots S]\n"
+               "  stats  --metrics M.json [--prom-out M.prom]\n"
+               "         [--watch --interval-ms MS --iterations K]\n"
+               "common: --log-level debug|info|warn|error (or UPANNS_LOG env);\n"
+               "        --force overwrites existing output files\n");
   return 1;
 }
 
@@ -454,6 +745,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "search") return cmd_search(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "stats") return cmd_stats(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

@@ -14,7 +14,7 @@ namespace {
 LogLevel level_from_env() {
   const char* env = std::getenv("UPANNS_LOG");
   if (env == nullptr) return LogLevel::kInfo;
-  return parse_log_level(env).value_or(LogLevel::kInfo);
+  return log_level_from_env_value(env);
 }
 
 std::atomic<LogLevel> g_level{level_from_env()};
@@ -43,6 +43,15 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   return std::nullopt;
+}
+
+LogLevel log_level_from_env_value(std::string_view value) {
+  const std::optional<LogLevel> parsed = parse_log_level(value);
+  if (parsed.has_value()) return *parsed;
+  log_message(LogLevel::kWarn,
+              "unrecognized UPANNS_LOG level \"" + std::string(value) +
+                  "\" (expected debug|info|warn|error); defaulting to info");
+  return LogLevel::kInfo;
 }
 
 void log_message(LogLevel level, const std::string& msg) {

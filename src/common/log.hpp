@@ -22,6 +22,11 @@ void log_message(LogLevel level, const std::string& msg);
 /// nullopt for anything else.
 std::optional<LogLevel> parse_log_level(std::string_view name);
 
+/// Resolve an UPANNS_LOG-style value: parse_log_level on success; an
+/// unrecognized value logs a warning naming it and falls back to kInfo
+/// (never silently — tested in test_telemetry).
+LogLevel log_level_from_env_value(std::string_view value);
+
 namespace detail {
 inline void append_all(std::ostringstream&) {}
 template <typename T, typename... Rest>

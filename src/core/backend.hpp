@@ -96,6 +96,17 @@ struct CpuExtras {
   baselines::QueryWorkProfile profile;
 };
 
+/// Per-query cost-attribution inputs, captured by the PIM pipeline only
+/// when a span log is attached to the engine (obs/span.hpp assembles the
+/// actual spans post hoc). Never serialized into report JSON.
+struct QueryCosts {
+  std::uint64_t batch_id = 0;        ///< pipeline batch index
+  std::uint64_t first_query_id = 0;  ///< global id of this batch's row 0
+  /// Per-query share of the batch's device phase, derived from the Alg-2
+  /// schedule (sums to 1 over the batch; uniform when nothing scheduled).
+  std::vector<double> device_weight;
+};
+
 /// The unified result of one batch search, common to every backend.
 struct SearchReport {
   std::vector<std::vector<common::Neighbor>> neighbors;  ///< per query, asc
@@ -110,6 +121,8 @@ struct SearchReport {
   std::optional<PimExtras> pim;
   std::optional<GpuExtras> gpu;
   std::optional<CpuExtras> cpu;
+  /// Engaged only when the engine had a span log attached for this search.
+  std::optional<QueryCosts> query_costs;
 
   double total_seconds() const { return times.total(); }
 

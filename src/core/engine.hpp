@@ -39,6 +39,7 @@
 
 namespace upanns::obs {
 class MetricsRegistry;
+class SpanLog;
 }  // namespace upanns::obs
 
 namespace upanns::core {
@@ -123,6 +124,14 @@ class UpAnnsEngine {
   /// engine or a subsequent set_metrics(nullptr).
   void set_metrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attach (or detach) a span log. The pipeline then stamps
+  /// SearchReport::query_costs (batch/query ids + per-query device shares)
+  /// so obs::append_pipeline_spans can assemble per-query spans post hoc;
+  /// with no log attached the capture is skipped entirely and reports are
+  /// bit-identical. The log must outlive the engine or a set_spans(nullptr).
+  void set_spans(obs::SpanLog* spans) { spans_ = spans; }
+  obs::SpanLog* spans() const { return spans_; }
 
   const Placement& placement() const { return placement_; }
   const ivf::IvfIndex& index() const { return index_; }
@@ -209,6 +218,7 @@ class UpAnnsEngine {
   ivf::IvfIndex* mutable_index_ = nullptr;
   UpAnnsOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanLog* spans_ = nullptr;
   Placement placement_;
   std::unique_ptr<pim::PimSystem> system_;
   std::vector<PerDpu> per_dpu_;

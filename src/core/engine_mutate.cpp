@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
@@ -205,6 +206,9 @@ UpAnnsEngine::PatchStats UpAnnsEngine::patch_dpus() {
     metrics_->histogram("mutate.patch.seconds").observe(stats.seconds);
     pim::TransferEngine::record(obs::MetricsSink(metrics_), "patch", xfer);
   }
+  common::log_debug("mram-patch: ", stats.lists_patched, " lists, ",
+                    stats.bytes_written, " bytes, ", stats.regions_moved,
+                    " regions moved, ", stats.seconds, " s");
   return stats;
 }
 

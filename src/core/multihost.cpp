@@ -10,6 +10,7 @@
 #include "common/hw_specs.hpp"
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace upanns::core {
 
@@ -17,10 +18,21 @@ MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
                                  const ivf::ClusterStats& stats,
                                  MultiHostOptions options)
     : index_(index), options_(std::move(options)) {
+  init(stats);
+}
+
+MultiHostUpAnns::MultiHostUpAnns(ivf::IvfIndex& index,
+                                 const ivf::ClusterStats& stats,
+                                 MultiHostOptions options)
+    : index_(index), mutable_index_(&index), options_(std::move(options)) {
+  init(stats);
+}
+
+void MultiHostUpAnns::init(const ivf::ClusterStats& stats) {
   if (options_.n_hosts == 0) {
     throw std::invalid_argument("MultiHostUpAnns: n_hosts == 0");
   }
-  const std::size_t nc = index.n_clusters();
+  const std::size_t nc = index_.n_clusters();
   owner_.assign(nc, 0);
 
   // Largest-workload-first onto the least-loaded host: whole clusters only,
@@ -55,10 +67,72 @@ MultiHostUpAnns::MultiHostUpAnns(const ivf::IvfIndex& index,
         shard.workloads[c] = 0;
       }
     }
+    // Engines over a mutable index are themselves updatable, so each host
+    // can incrementally patch the clusters resident in its own shard.
     engines_[h] =
-        std::make_unique<UpAnnsEngine>(index_, shard, options_.per_host);
+        mutable_index_ != nullptr
+            ? std::make_unique<UpAnnsEngine>(*mutable_index_, shard,
+                                             options_.per_host)
+            : std::make_unique<UpAnnsEngine>(index_, shard,
+                                             options_.per_host);
     ++n_active_;
   }
+}
+
+namespace {
+
+UpAnnsEngine& first_active_engine(
+    std::vector<std::unique_ptr<UpAnnsEngine>>& engines, bool updatable) {
+  if (!updatable) {
+    throw std::logic_error("MultiHostUpAnns: cluster is read-only");
+  }
+  for (auto& engine : engines) {
+    if (engine) return *engine;
+  }
+  throw std::logic_error("MultiHostUpAnns: no active hosts");
+}
+
+}  // namespace
+
+void MultiHostUpAnns::upsert(std::span<const std::uint32_t> ids,
+                             std::span<const float> vectors) {
+  // One engine mutates the shared index; every host's engine observes the
+  // epoch drift and patches its own resident clusters on the next patch.
+  first_active_engine(engines_, updatable()).upsert(ids, vectors);
+}
+
+std::size_t MultiHostUpAnns::remove(std::span<const std::uint32_t> ids) {
+  return first_active_engine(engines_, updatable()).remove(ids);
+}
+
+std::size_t MultiHostUpAnns::compact(double min_tombstone_ratio) {
+  return first_active_engine(engines_, updatable())
+      .compact(min_tombstone_ratio);
+}
+
+bool MultiHostUpAnns::needs_patch() const {
+  for (const auto& engine : engines_) {
+    if (engine && engine->needs_patch()) return true;
+  }
+  return false;
+}
+
+UpAnnsEngine::PatchStats MultiHostUpAnns::patch_hosts() {
+  if (!updatable()) {
+    throw std::logic_error("MultiHostUpAnns::patch_hosts: cluster is read-only");
+  }
+  // Hosts patch their own MRAM buses concurrently: wall time is the slowest
+  // host's patch, volume counters sum across the fleet.
+  UpAnnsEngine::PatchStats total;
+  for (auto& engine : engines_) {
+    if (!engine) continue;
+    const UpAnnsEngine::PatchStats ps = engine->patch_dpus();
+    total.seconds = std::max(total.seconds, ps.seconds);
+    total.bytes_written += ps.bytes_written;
+    total.lists_patched += ps.lists_patched;
+    total.regions_moved += ps.regions_moved;
+  }
+  return total;
 }
 
 std::uint32_t MultiHostUpAnns::host_of(std::size_t cluster) const {
@@ -106,6 +180,9 @@ MultiHostReport MultiHostUpAnns::search(const data::Dataset& queries) {
 MultiHostReport MultiHostUpAnns::search_with_probes(
     const data::Dataset& queries,
     const std::vector<std::vector<std::uint32_t>>& probes) {
+  // Lazily apply pending mutations, mirroring UpAnnsBackend::search — the
+  // pipeline patches (and charges) explicitly before it gets here.
+  if (updatable() && needs_patch()) patch_hosts();
   MultiHostReport report;
   const std::size_t nq = queries.n;
   const std::size_t k = options_.per_host.k;
@@ -280,19 +357,35 @@ MultiHostBatchPipeline::MultiHostBatchPipeline(MultiHostUpAnns& cluster,
 
 MultiHostPipelineReport MultiHostBatchPipeline::run(
     const std::vector<data::Dataset>& batches) {
+  return run(batches, MutationHook{});
+}
+
+MultiHostPipelineReport MultiHostBatchPipeline::run(
+    const std::vector<data::Dataset>& batches, const MutationHook& mutate) {
   MultiHostPipelineReport out;
   out.overlapped = opts_.overlap;
 
-  for (const data::Dataset& batch : batches) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const data::Dataset& batch = batches[b];
     MultiHostBatchSlot slot;
+    if (mutate) mutate(b);
+    if (cluster_.updatable() && cluster_.needs_patch()) {
+      const UpAnnsEngine::PatchStats ps = cluster_.patch_hosts();
+      slot.patch_seconds = ps.seconds;
+      slot.patch_bytes = ps.bytes_written;
+    }
     slot.report = cluster_.search(batch);
     slot.pre_seconds =
         slot.report.coord_filter_seconds + slot.report.broadcast_seconds;
-    slot.device_seconds = slot.report.slowest_host_seconds;
+    // The fleet-wide patch occupies the hosts' MRAM buses, so it leads the
+    // device phase like the single-host pipeline's patch; adding 0.0 keeps
+    // read-only runs bit-identical.
+    slot.device_seconds =
+        slot.report.slowest_host_seconds + slot.patch_seconds;
     slot.post_seconds =
         slot.report.gather_seconds + slot.report.coord_merge_seconds;
     out.n_queries += batch.n;
-    out.serial_seconds += slot.report.seconds;
+    out.serial_seconds += slot.report.seconds + slot.patch_seconds;
     out.slots.push_back(std::move(slot));
   }
 
@@ -307,16 +400,36 @@ MultiHostPipelineReport MultiHostBatchPipeline::run(
 
   obs::MetricsSink sink(cluster_.metrics());
   if (sink.enabled()) {
-    for (const MultiHostBatchSlot& slot : out.slots) {
+    const std::vector<MultiHostBatchWindows> timeline = multihost_timeline(out);
+    for (std::size_t i = 0; i < out.slots.size(); ++i) {
+      const MultiHostBatchSlot& slot = out.slots[i];
       sink.observe("multihost_pipeline.slot.pre_seconds", slot.pre_seconds);
       sink.observe("multihost_pipeline.slot.device_seconds",
                    slot.device_seconds);
       sink.observe("multihost_pipeline.slot.post_seconds", slot.post_seconds);
+      // Only written when a patch actually ran, so read-only runs keep a
+      // byte-identical metrics report.
+      if (slot.patch_seconds > 0) {
+        sink.observe("multihost_pipeline.slot.patch_seconds",
+                     slot.patch_seconds);
+        sink.count("multihost_pipeline.patch_bytes", slot.patch_bytes);
+      }
+      // Per-query latency (submission to merge completion) under the same
+      // timeline the exporter draws, into the cumulative histogram and the
+      // rolling window at the batch's completion time.
+      const double latency = timeline[i].post_end - timeline[i].pre_start;
+      const std::uint64_t nq = slot.report.neighbors.size();
+      sink.observe_n("query.latency_seconds", latency, nq);
+      sink.observe_window("query.latency_seconds", timeline[i].post_end,
+                          latency, nq);
     }
     sink.count("multihost_pipeline.runs");
     sink.set("multihost_pipeline.overlap_saved_seconds",
              out.serial_seconds - out.elapsed_seconds);
     sink.set("multihost_pipeline.qps", out.qps);
+  }
+  if (cluster_.spans() != nullptr) {
+    obs::append_multihost_spans(*cluster_.spans(), out);
   }
   return out;
 }

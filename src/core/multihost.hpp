@@ -30,7 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -83,6 +85,12 @@ class MultiHostUpAnns {
   MultiHostUpAnns(const ivf::IvfIndex& index, const ivf::ClusterStats& stats,
                   MultiHostOptions options);
 
+  /// Updatable cluster: same sharding, but every per-host engine may mutate
+  /// the shared index and incrementally patch its own MRAM images. With no
+  /// writes issued it serves bit-identically to the read-only overload.
+  MultiHostUpAnns(ivf::IvfIndex& index, const ivf::ClusterStats& stats,
+                  MultiHostOptions options);
+
   std::size_t n_hosts() const { return engines_.size(); }
   /// Hosts that own at least one cluster (and therefore run an engine).
   std::size_t n_active_hosts() const { return n_active_; }
@@ -108,10 +116,42 @@ class MultiHostUpAnns {
   void set_metrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attach (or detach) a span log: MultiHostBatchPipeline then assembles
+  /// coordinator/host/per-query spans post hoc (obs::append_multihost_spans).
+  void set_spans(obs::SpanLog* spans) { spans_ = spans; }
+  obs::SpanLog* spans() const { return spans_; }
+
+  // ----- Streaming updates (clusters built from a mutable index) -----
+  //
+  // Mutations route through one engine (the index and its dirty epoch are
+  // shared, so every host's engine observes the drift); each host then
+  // patches only the clusters resident in its own shard. Read-only clusters
+  // throw std::logic_error, mirroring UpAnnsEngine.
+
+  /// True when constructed from a non-const index.
+  bool updatable() const { return mutable_index_ != nullptr; }
+
+  void upsert(std::span<const std::uint32_t> ids,
+              std::span<const float> vectors);
+  std::size_t remove(std::span<const std::uint32_t> ids);
+  std::size_t compact(double min_tombstone_ratio = 0.0);
+
+  /// True when any host's MRAM images are stale w.r.t. the shared index.
+  bool needs_patch() const;
+
+  /// Patch every active host's MRAM images. Hosts patch concurrently, so
+  /// the simulated seconds are the slowest host's; bytes/lists/moves are
+  /// summed across hosts. search() applies this lazily like UpAnnsBackend.
+  UpAnnsEngine::PatchStats patch_hosts();
+
  private:
+  void init(const ivf::ClusterStats& stats);
+
   const ivf::IvfIndex& index_;
+  ivf::IvfIndex* mutable_index_ = nullptr;
   MultiHostOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanLog* spans_ = nullptr;
   std::vector<std::uint32_t> owner_;
   std::vector<std::unique_ptr<UpAnnsEngine>> engines_;
   std::size_t n_active_ = 0;
@@ -133,6 +173,12 @@ struct MultiHostBatchSlot {
   double pre_seconds = 0;
   double device_seconds = 0;
   double post_seconds = 0;
+  /// Incremental MRAM patch applied across the host fleet before this
+  /// batch (updatable clusters with pending mutations only; folded into
+  /// device_seconds — the patch occupies the MRAM buses, so it leads the
+  /// fleet's device phase like the single-host pipeline's patch).
+  double patch_seconds = 0;
+  std::uint64_t patch_bytes = 0;
   MultiHostReport report;
 };
 
@@ -174,6 +220,15 @@ class MultiHostBatchPipeline {
                                   MultiHostPipelineOptions opts = {});
 
   MultiHostPipelineReport run(const std::vector<data::Dataset>& batches);
+
+  /// Mixed read/write workload, mirroring BatchPipeline: `mutate(i)` runs
+  /// before batch i and may issue cluster upsert/remove/compact calls;
+  /// pending mutations are applied as one fleet-wide MRAM patch
+  /// (patch_hosts) charged to the slot's device phase. A null hook (or one
+  /// that never mutates) reproduces the read-only run bit-for-bit.
+  using MutationHook = std::function<void(std::size_t batch_index)>;
+  MultiHostPipelineReport run(const std::vector<data::Dataset>& batches,
+                              const MutationHook& mutate);
 
  private:
   MultiHostUpAnns& cluster_;

@@ -13,6 +13,8 @@
 #include "common/hw_specs.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "pim/transfer.hpp"
 
 namespace upanns::core {
@@ -299,7 +301,8 @@ QueryPipeline::QueryPipeline(UpAnnsEngine& engine) : engine_(engine) {
 
 SearchReport QueryPipeline::run(
     const data::Dataset& queries,
-    const std::vector<std::vector<std::uint32_t>>* probes) {
+    const std::vector<std::vector<std::uint32_t>>* probes,
+    std::uint64_t batch_id, std::uint64_t first_query_id) {
   BatchContext ctx;
   ctx.queries = &queries;
   ctx.probes = probes;
@@ -318,6 +321,35 @@ SearchReport QueryPipeline::run(
     s.count("pipeline.batches");
     s.count("pipeline.queries", queries.n);
     s.observe("pipeline.batch.seconds", ctx.report.times.total());
+  }
+
+  // Per-query cost attribution for the span assembler — only when a span
+  // log is attached, so detached runs skip the capture entirely (the field
+  // is never serialized, keeping reports byte-identical either way).
+  if (spans() != nullptr) {
+    QueryCosts qc;
+    qc.batch_id = batch_id;
+    qc.first_query_id = first_query_id;
+    std::vector<double> weight(queries.n, 0.0);
+    const std::vector<std::size_t> sizes = index().list_sizes();
+    double total = 0;
+    for (const auto& assigns : ctx.sched.per_dpu) {
+      for (const Assignment& a : assigns) {
+        // One unit per assignment plus the scanned list length — the same
+        // work measure Alg-2 balances on.
+        const double v = 1.0 + static_cast<double>(sizes[a.cluster]);
+        weight[a.query] += v;
+        total += v;
+      }
+    }
+    if (total > 0) {
+      for (double& v : weight) v /= total;
+    } else if (queries.n > 0) {
+      std::fill(weight.begin(), weight.end(),
+                1.0 / static_cast<double>(queries.n));
+    }
+    qc.device_weight = std::move(weight);
+    ctx.report.query_costs = std::move(qc);
   }
 
   ctx.report.pim->n_dpus = options().n_dpus;
@@ -362,6 +394,7 @@ BatchPipelineReport BatchPipeline::run(
   out.overlapped = opts_.overlap;
 
   QueryPipeline pipeline(engine_);
+  std::uint64_t first_query_id = 0;
   for (std::size_t b = 0; b < batches.size(); ++b) {
     const data::Dataset& batch = batches[b];
     BatchSlot slot;
@@ -371,7 +404,8 @@ BatchPipelineReport BatchPipeline::run(
       slot.patch_seconds = ps.seconds;
       slot.patch_bytes = ps.bytes_written;
     }
-    slot.report = pipeline.run(batch, nullptr);
+    slot.report = pipeline.run(batch, nullptr, b, first_query_id);
+    first_query_id += batch.n;
 
     // Host prefix = the leading kHost trace entries (filter + schedule);
     // the device phase is the exact remainder of the batch total plus any
@@ -405,7 +439,12 @@ BatchPipelineReport BatchPipeline::run(
 
   obs::MetricsSink sink = engine_.metrics();
   if (sink.enabled()) {
-    for (const BatchSlot& slot : out.slots) {
+    // The same deterministic timeline the Perfetto exporter draws gives
+    // every batch a completion time, which is what the rolling windows key
+    // on (all time is simulated — there is no wall clock to sample).
+    const std::vector<obs::BatchWindows> timeline = obs::pipeline_timeline(out);
+    for (std::size_t i = 0; i < out.slots.size(); ++i) {
+      const BatchSlot& slot = out.slots[i];
       sink.observe("batch_pipeline.slot.host_seconds", slot.host_seconds);
       sink.observe("batch_pipeline.slot.device_seconds", slot.device_seconds);
       // Only written when a patch actually ran, so read-only runs keep a
@@ -414,11 +453,22 @@ BatchPipelineReport BatchPipeline::run(
         sink.observe("batch_pipeline.slot.patch_seconds", slot.patch_seconds);
         sink.count("batch_pipeline.patch_bytes", slot.patch_bytes);
       }
+      // Per-query latency under the pipeline's accounting: submission to
+      // batch completion, recorded once per query of the batch, both
+      // cumulatively and into the rolling window at its completion time.
+      const double latency = timeline[i].device_end - timeline[i].host_start;
+      const std::uint64_t nq = slot.report.neighbors.size();
+      sink.observe_n("query.latency_seconds", latency, nq);
+      sink.observe_window("query.latency_seconds", timeline[i].device_end,
+                          latency, nq);
     }
     sink.count("batch_pipeline.runs");
     sink.set("batch_pipeline.overlap_saved_seconds",
              out.serial_seconds - out.elapsed_seconds);
     sink.set("batch_pipeline.qps", out.qps);
+  }
+  if (engine_.spans() != nullptr) {
+    obs::append_pipeline_spans(*engine_.spans(), out);
   }
   return out;
 }

@@ -117,8 +117,14 @@ class QueryPipeline {
   explicit QueryPipeline(UpAnnsEngine& engine);
 
   /// probes == nullptr -> the filter stage computes them (options().nprobe).
+  /// batch_id / first_query_id are the stable telemetry ids stamped into
+  /// SearchReport::query_costs when the engine has a span log attached
+  /// (obs/span.hpp); they are ignored otherwise, so standalone searches can
+  /// leave them defaulted.
   SearchReport run(const data::Dataset& queries,
-                   const std::vector<std::vector<std::uint32_t>>* probes);
+                   const std::vector<std::vector<std::uint32_t>>* probes,
+                   std::uint64_t batch_id = 0,
+                   std::uint64_t first_query_id = 0);
 
   UpAnnsEngine& engine() { return engine_; }
   const ivf::IvfIndex& index() const { return engine_.index_; }
@@ -129,6 +135,8 @@ class QueryPipeline {
   UpAnnsEngine::PerDpu& per_dpu(std::size_t d) { return engine_.per_dpu_[d]; }
   /// Empty (inlined no-op) when the engine has no registry attached.
   obs::MetricsSink sink() const { return engine_.metrics_; }
+  /// Null when no span log is attached (per-query cost capture skipped).
+  obs::SpanLog* spans() const { return engine_.spans_; }
 
   /// Kernel pool: constructs DPU d's kernel on first use, rebinds it to the
   /// new launch input afterwards. Mode, pruning and the static layout are

@@ -41,14 +41,15 @@ Histogram::Histogram(std::vector<double> bounds)
   }
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe_n(double v, std::uint64_t n) {
+  if (n == 0) return;
   // Bucket b spans (bounds[b-1], bounds[b]]: the first bound >= v is the
   // inclusive upper edge (quantile() interpolates on the same convention).
   const std::size_t b =
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
-  counts_[b].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_add(sum_, v);
+  counts_[b].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add(sum_, v * static_cast<double>(n));
   atomic_min(min_, v);
   atomic_max(max_, v);
 }
@@ -73,29 +74,9 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const std::vector<std::uint64_t> counts = bucket_counts();
-  std::uint64_t total = 0;
-  for (std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(total);
-
-  double cum = 0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
-    if (counts[b] == 0) continue;
-    const double next = cum + static_cast<double>(counts[b]);
-    if (rank <= next || b + 1 == counts.size()) {
-      // Interpolate inside bucket b between its lower and upper edge; the
-      // extreme buckets use the observed min/max as their missing edge.
-      const double lo = b == 0 ? min() : bounds_[b - 1];
-      const double hi = b == bounds_.size() ? max() : bounds_[b];
-      const double frac =
-          std::clamp((rank - cum) / static_cast<double>(counts[b]), 0.0, 1.0);
-      return std::clamp(lo + frac * (hi - lo), min(), max());
-    }
-    cum = next;
-  }
-  return max();
+  // Shares the interpolation kernel with WindowedHistogram (obs/window.hpp)
+  // so windowed and cumulative quantiles are directly comparable.
+  return quantile_from_buckets(bounds_, bucket_counts(), min(), max(), q);
 }
 
 void Histogram::merge_from(const Histogram& other) {
@@ -154,6 +135,42 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *histograms_.back().instrument;
 }
 
+WindowedHistogram& MetricsRegistry::windowed(std::string_view name,
+                                             std::vector<double> bounds) {
+  WindowOptions opts;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& e : windows_) {
+      if (e.name == name) return *e.instrument;
+    }
+    opts = window_opts_;
+  }
+  return windowed(name, opts, std::move(bounds));
+}
+
+WindowedHistogram& MetricsRegistry::windowed(std::string_view name,
+                                             WindowOptions opts,
+                                             std::vector<double> bounds) {
+  std::lock_guard lk(mu_);
+  for (auto& e : windows_) {
+    if (e.name == name) return *e.instrument;
+  }
+  if (bounds.empty()) bounds = Histogram::default_time_bounds();
+  windows_.push_back({std::string(name), std::make_unique<WindowedHistogram>(
+                                             opts, std::move(bounds))});
+  return *windows_.back().instrument;
+}
+
+void MetricsRegistry::set_window_options(WindowOptions opts) {
+  std::lock_guard lk(mu_);
+  window_opts_ = opts;
+}
+
+WindowOptions MetricsRegistry::window_options() const {
+  std::lock_guard lk(mu_);
+  return window_opts_;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lk(mu_);
   MetricsSnapshot s;
@@ -177,10 +194,25 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     h.bucket_counts = e.instrument->bucket_counts();
     s.histograms.push_back(std::move(h));
   }
+  for (const auto& e : windows_) {
+    MetricsSnapshot::WindowValue wv;
+    wv.name = e.name;
+    wv.width_seconds = e.instrument->options().width_seconds;
+    wv.slot_seconds = wv.width_seconds /
+                      static_cast<double>(e.instrument->options().slots);
+    wv.now = e.instrument->now();
+    wv.count = e.instrument->count();
+    wv.rate = e.instrument->rate();
+    wv.p50 = e.instrument->quantile(0.50);
+    wv.p99 = e.instrument->quantile(0.99);
+    wv.p999 = e.instrument->quantile(0.999);
+    s.windows.push_back(std::move(wv));
+  }
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
   std::sort(s.counters.begin(), s.counters.end(), by_name);
   std::sort(s.gauges.begin(), s.gauges.end(), by_name);
   std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  std::sort(s.windows.begin(), s.windows.end(), by_name);
   return s;
 }
 
@@ -190,6 +222,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   std::vector<std::pair<std::string, Counter*>> counters;
   std::vector<std::pair<std::string, Gauge*>> gauges;
   std::vector<std::pair<std::string, Histogram*>> hists;
+  std::vector<std::pair<std::string, WindowedHistogram*>> windows;
   {
     std::lock_guard lk(other.mu_);
     for (const auto& e : other.counters_) {
@@ -201,11 +234,17 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     for (const auto& e : other.histograms_) {
       hists.emplace_back(e.name, e.instrument.get());
     }
+    for (const auto& e : other.windows_) {
+      windows.emplace_back(e.name, e.instrument.get());
+    }
   }
   for (auto& [name, c] : counters) counter(name).add(c->value());
   for (auto& [name, g] : gauges) gauge(name).set(g->value());
   for (auto& [name, h] : hists) {
     histogram(name, h->bounds()).merge_from(*h);
+  }
+  for (auto& [name, wh] : windows) {
+    windowed(name, wh->options(), wh->bounds()).merge_from(*wh);
   }
 }
 

@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/window.hpp"
+
 namespace upanns::obs {
 
 /// Monotonically increasing integer (events, bytes, cycles).
@@ -52,7 +54,10 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  void observe(double v);
+  void observe(double v) { observe_n(v, 1); }
+  /// Record `n` observations of the same value (per-query latencies that
+  /// the batch accounting can only attribute batch-wide).
+  void observe_n(double v, std::uint64_t n);
 
   std::uint64_t count() const;
   double sum() const;
@@ -102,10 +107,23 @@ struct MetricsSnapshot {
     std::vector<double> bounds;
     std::vector<std::uint64_t> bucket_counts;
   };
+  /// Live readout of one rolling window (obs/window.hpp) at snapshot time.
+  struct WindowValue {
+    std::string name;
+    double width_seconds = 0;  ///< configured window width
+    double slot_seconds = 0;   ///< expiry granularity (width / slots)
+    double now = 0;            ///< latest simulated time the window saw
+    std::uint64_t count = 0;   ///< observations in the live window
+    double rate = 0;           ///< count / width_seconds
+    double p50 = 0, p99 = 0, p999 = 0;
+  };
 
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  /// Empty unless windowed instruments exist — the snapshot JSON omits the
+  /// section entirely then, keeping pre-window consumers byte-compatible.
+  std::vector<WindowValue> windows;
 };
 
 class MetricsRegistry {
@@ -120,6 +138,17 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   /// `bounds` applies only on first creation (defaults to time bounds).
   Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+  /// Rolling-window histogram (obs/window.hpp). `opts`/`bounds` apply only
+  /// on first creation; omitted opts take the registry default
+  /// (set_window_options), omitted bounds the time bounds.
+  WindowedHistogram& windowed(std::string_view name,
+                              std::vector<double> bounds = {});
+  WindowedHistogram& windowed(std::string_view name, WindowOptions opts,
+                              std::vector<double> bounds = {});
+  /// Default WindowOptions for windowed() creations that do not pass their
+  /// own — the CLI's --window-seconds/--window-slots knobs land here.
+  void set_window_options(WindowOptions opts);
+  WindowOptions window_options() const;
 
   /// Sorted-by-name copy of every instrument.
   MetricsSnapshot snapshot() const;
@@ -140,6 +169,8 @@ class MetricsRegistry {
   std::vector<Entry<Counter>> counters_;
   std::vector<Entry<Gauge>> gauges_;
   std::vector<Entry<Histogram>> histograms_;
+  std::vector<Entry<WindowedHistogram>> windows_;
+  WindowOptions window_opts_;
 };
 
 /// Nullable instrumentation handle. Default-constructed (or built from a
@@ -161,6 +192,14 @@ class MetricsSink {
   }
   void observe(std::string_view name, double v) {
     if (reg_) reg_->histogram(name).observe(v);
+  }
+  void observe_n(std::string_view name, double v, std::uint64_t n) {
+    if (reg_) reg_->histogram(name).observe_n(v, n);
+  }
+  /// Record into the named rolling window at simulated time `t`.
+  void observe_window(std::string_view name, double t, double v,
+                      std::uint64_t n = 1) {
+    if (reg_) reg_->windowed(name).observe(t, v, n);
   }
 
  private:

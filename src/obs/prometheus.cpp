@@ -1,0 +1,94 @@
+#include "obs/prometheus.hpp"
+
+#include "obs/json.hpp"
+
+namespace upanns::obs {
+
+namespace {
+
+bool prom_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+void sample(std::string& out, const std::string& series,
+            const std::string& labels, double v) {
+  out += series;
+  out += labels;
+  out += ' ';
+  out += json_number(v);
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& series,
+            const std::string& labels, std::uint64_t v) {
+  out += series;
+  out += labels;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void type_line(std::string& out, const std::string& series, const char* type) {
+  out += "# TYPE ";
+  out += series;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "upanns_";
+  for (char c : name) out += prom_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& s) {
+  std::string out;
+  for (const auto& c : s.counters) {
+    const std::string series = prometheus_name(c.name) + "_total";
+    type_line(out, series, "counter");
+    sample(out, series, "", c.value);
+  }
+  for (const auto& g : s.gauges) {
+    const std::string series = prometheus_name(g.name);
+    type_line(out, series, "gauge");
+    sample(out, series, "", g.value);
+  }
+  for (const auto& h : s.histograms) {
+    const std::string series = prometheus_name(h.name);
+    type_line(out, series, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += h.bucket_counts[b];
+      sample(out, series + "_bucket",
+             "{le=\"" + json_number(h.bounds[b]) + "\"}", cum);
+    }
+    cum += h.bucket_counts.empty() ? 0 : h.bucket_counts.back();
+    sample(out, series + "_bucket", "{le=\"+Inf\"}", cum);
+    sample(out, series + "_sum", "", h.sum);
+    sample(out, series + "_count", "", h.count);
+  }
+  for (const auto& w : s.windows) {
+    const std::string base = prometheus_name(w.name) + "_window";
+    const std::string labels =
+        "{window_seconds=\"" + json_number(w.width_seconds) + "\"}";
+    struct Q {
+      const char* suffix;
+      double value;
+    };
+    const Q quantiles[] = {
+        {"_p50", w.p50}, {"_p99", w.p99}, {"_p999", w.p999}, {"_rate", w.rate}};
+    for (const Q& q : quantiles) {
+      type_line(out, base + q.suffix, "gauge");
+      sample(out, base + q.suffix, labels, q.value);
+    }
+    type_line(out, base + "_count", "gauge");
+    sample(out, base + "_count", labels, w.count);
+  }
+  return out;
+}
+
+}  // namespace upanns::obs

@@ -1,0 +1,29 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a metrics
+// snapshot, so a scrape endpoint or a file sink can feed the standard
+// monitoring stack without any new dependency.
+//
+// Naming conventions (DESIGN.md §11): every series carries the `upanns_`
+// prefix; registry names are sanitized by mapping every character outside
+// [a-zA-Z0-9_] (the registry uses dots) to '_'. Counters gain the `_total`
+// suffix; histograms render the standard cumulative `_bucket{le="..."}` /
+// `_sum` / `_count` triple; rolling windows render as gauges suffixed
+// `_window_p50/_p99/_p999/_rate/_count`, labeled with their configured
+// width (`window_seconds="..."`) so dashboards can tell a 10 s p99 from a
+// 60 s one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace upanns::obs {
+
+/// `upanns_` + name with every character outside [a-zA-Z0-9_] mapped to '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Render a full snapshot as Prometheus text exposition: one `# TYPE` line
+/// per series followed by its samples, in snapshot (sorted-by-name) order.
+std::string prometheus_text(const MetricsSnapshot& s);
+
+}  // namespace upanns::obs

@@ -1,0 +1,57 @@
+#include "obs/provenance.hpp"
+
+#include "obs/json.hpp"
+
+// Injected as per-source compile definitions by src/CMakeLists.txt so only
+// this translation unit rebuilds when the commit changes.
+#ifndef UPANNS_GIT_SHA
+#define UPANNS_GIT_SHA "unknown"
+#endif
+#ifndef UPANNS_BUILD_TYPE
+#define UPANNS_BUILD_TYPE "unspecified"
+#endif
+#ifndef UPANNS_BUILD_FLAGS
+#define UPANNS_BUILD_FLAGS ""
+#endif
+
+namespace upanns::obs {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildProvenance& build_provenance() {
+  static const BuildProvenance p = [] {
+    BuildProvenance out;
+    out.schema_version = "upanns.telemetry.v1";
+    out.git_sha = UPANNS_GIT_SHA;
+    out.compiler = compiler_string();
+    out.build_type = UPANNS_BUILD_TYPE;
+    out.flags = UPANNS_BUILD_FLAGS;
+    return out;
+  }();
+  return p;
+}
+
+void append_provenance(JsonWriter& w) {
+  const BuildProvenance& p = build_provenance();
+  w.key("provenance").begin_object();
+  w.kv("schema_version", p.schema_version);
+  w.kv("git_sha", p.git_sha);
+  w.kv("compiler", p.compiler);
+  w.kv("build_type", p.build_type);
+  w.kv("flags", p.flags);
+  w.end_object();
+}
+
+}  // namespace upanns::obs

@@ -1,0 +1,34 @@
+// Build provenance stamped into every telemetry JSON artifact (metrics
+// snapshots, span logs, bench reports). bench/metrics_diff refuses to
+// compare artifacts whose schema_version or build shape differ, so a gate
+// never silently scores apples against oranges after a schema change.
+//
+// The git sha / build flags are baked in at configure time via per-source
+// compile definitions (see src/CMakeLists.txt); builds outside a git
+// checkout report "unknown" and are still comparable to each other.
+#pragma once
+
+#include <string>
+
+namespace upanns::obs {
+
+class JsonWriter;
+
+struct BuildProvenance {
+  /// Version of the telemetry JSON schema itself — bump when the span or
+  /// snapshot layout changes incompatibly.
+  std::string schema_version;
+  std::string git_sha;     ///< short commit sha, "unknown" outside git
+  std::string compiler;    ///< e.g. "gcc 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, "unspecified" when empty
+  std::string flags;       ///< compile flags of this build
+};
+
+/// The provenance of this binary (computed once, immutable).
+const BuildProvenance& build_provenance();
+
+/// Write `"provenance": { ... }` as one member of the currently open JSON
+/// object.
+void append_provenance(JsonWriter& w);
+
+}  // namespace upanns::obs

@@ -82,6 +82,12 @@ void append_batch_pipeline_report(JsonWriter& w,
     w.begin_object();
     w.kv("host_seconds", slot.host_seconds);
     w.kv("device_seconds", slot.device_seconds);
+    // Patch keys only when a patch actually ran, so read-only runs stay
+    // byte-identical to the pre-patch schema.
+    if (slot.patch_seconds > 0) {
+      w.kv("patch_seconds", slot.patch_seconds);
+      w.kv("patch_bytes", slot.patch_bytes);
+    }
     w.key("report");
     append_search_report(w, slot.report);
     w.end_object();
@@ -131,6 +137,10 @@ void append_multi_host_pipeline_report(JsonWriter& w,
     w.kv("pre_seconds", slot.pre_seconds);
     w.kv("device_seconds", slot.device_seconds);
     w.kv("post_seconds", slot.post_seconds);
+    if (slot.patch_seconds > 0) {
+      w.kv("patch_seconds", slot.patch_seconds);
+      w.kv("patch_bytes", slot.patch_bytes);
+    }
     w.key("report");
     append_multi_host_report(w, slot.report);
     w.end_object();
@@ -171,7 +181,72 @@ void append_snapshot(JsonWriter& w, const MetricsSnapshot& s) {
     w.end_object();
   }
   w.end_array();
+  // Windows section only when windowed instruments exist, keeping
+  // pre-window consumers byte-compatible.
+  if (!s.windows.empty()) {
+    w.key("windows").begin_array();
+    for (const auto& wi : s.windows) {
+      w.begin_object();
+      w.kv("name", wi.name);
+      w.kv("width_seconds", wi.width_seconds);
+      w.kv("slot_seconds", wi.slot_seconds);
+      w.kv("now", wi.now);
+      w.kv("count", wi.count);
+      w.kv("rate", wi.rate);
+      w.kv("p50", wi.p50);
+      w.kv("p99", wi.p99);
+      w.kv("p999", wi.p999);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
+}
+
+MetricsSnapshot snapshot_from_json(const JsonValue& v) {
+  MetricsSnapshot s;
+  for (const JsonValue& c : v.at("counters").array) {
+    s.counters.push_back(
+        {c.at("name").string,
+         static_cast<std::uint64_t>(c.at("value").number)});
+  }
+  for (const JsonValue& g : v.at("gauges").array) {
+    s.gauges.push_back({g.at("name").string, g.at("value").number});
+  }
+  for (const JsonValue& h : v.at("histograms").array) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = h.at("name").string;
+    hv.count = static_cast<std::uint64_t>(h.at("count").number);
+    hv.sum = h.at("sum").number;
+    hv.min = h.at("min").number;
+    hv.max = h.at("max").number;
+    hv.p50 = h.at("p50").number;
+    hv.p90 = h.at("p90").number;
+    hv.p99 = h.at("p99").number;
+    for (const JsonValue& b : h.at("bounds").array) {
+      hv.bounds.push_back(b.number);
+    }
+    for (const JsonValue& c : h.at("bucket_counts").array) {
+      hv.bucket_counts.push_back(static_cast<std::uint64_t>(c.number));
+    }
+    s.histograms.push_back(std::move(hv));
+  }
+  if (v.has("windows")) {
+    for (const JsonValue& wi : v.at("windows").array) {
+      MetricsSnapshot::WindowValue wv;
+      wv.name = wi.at("name").string;
+      wv.width_seconds = wi.at("width_seconds").number;
+      wv.slot_seconds = wi.at("slot_seconds").number;
+      wv.now = wi.at("now").number;
+      wv.count = static_cast<std::uint64_t>(wi.at("count").number);
+      wv.rate = wi.at("rate").number;
+      wv.p50 = wi.at("p50").number;
+      wv.p99 = wi.at("p99").number;
+      wv.p999 = wi.at("p999").number;
+      s.windows.push_back(std::move(wv));
+    }
+  }
+  return s;
 }
 
 namespace {

@@ -26,6 +26,11 @@ void append_multi_host_pipeline_report(JsonWriter& w,
                                        const core::MultiHostPipelineReport& r);
 void append_snapshot(JsonWriter& w, const MetricsSnapshot& s);
 
+/// Inverse of append_snapshot: rebuild a MetricsSnapshot from its parsed
+/// JSON (bench/metrics_diff reads committed baselines through this). Throws
+/// std::out_of_range / std::runtime_error on a malformed document.
+MetricsSnapshot snapshot_from_json(const JsonValue& v);
+
 std::string stage_times_json(const baselines::StageTimes& t);
 std::string pim_extras_json(const core::PimExtras& px);
 std::string search_report_json(const core::SearchReport& r);

@@ -4,7 +4,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 
 namespace upanns::obs {
 
@@ -100,7 +102,7 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
   return t;
 }
 
-std::string trace_json(const PipelineTrace& trace) {
+std::string trace_json(const PipelineTrace& trace, const SpanLog* spans) {
   JsonWriter w;
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
@@ -142,6 +144,36 @@ std::string trace_json(const PipelineTrace& trace) {
         .end_object()
         .end_object();
   }
+  if (spans != nullptr) {
+    // Async event pairs ("b"/"e" matched by cat+id) — Perfetto renders them
+    // as nestable tracks above the lane slices.
+    for (const Span& s : spans->spans()) {
+      w.begin_object()
+          .kv("ph", "b")
+          .kv("name", s.name)
+          .kv("cat", s.category)
+          .kv("id", s.id)
+          .kv("pid", 0)
+          .kv("tid", 0)
+          .kv("ts", s.start_seconds * 1e6)
+          .key("args")
+          .begin_object()
+          .kv("parent", s.parent)
+          .kv("batch", s.batch)
+          .kv("query", s.query)
+          .end_object()
+          .end_object();
+      w.begin_object()
+          .kv("ph", "e")
+          .kv("name", s.name)
+          .kv("cat", s.category)
+          .kv("id", s.id)
+          .kv("pid", 0)
+          .kv("tid", 0)
+          .kv("ts", (s.start_seconds + s.duration_seconds) * 1e6)
+          .end_object();
+    }
+  }
   w.end_array();
   w.end_object();
   return w.take();
@@ -152,11 +184,13 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
   t.lanes.emplace_back(0, "coordinator");
   t.lanes.emplace_back(1, "network");
   std::size_t max_host_lane = 0;
+  std::vector<std::size_t> patch_slices;  // lane fixed up once lanes are known
 
   const std::vector<core::MultiHostBatchWindows> windows =
       core::multihost_timeline(report);
   for (std::size_t b = 0; b < report.slots.size(); ++b) {
-    const core::MultiHostReport& r = report.slots[b].report;
+    const core::MultiHostBatchSlot& slot = report.slots[b];
+    const core::MultiHostReport& r = slot.report;
     const core::MultiHostBatchWindows& w = windows[b];
 
     t.slices.push_back({"cluster-filter", "host", 0, w.pre_start,
@@ -164,17 +198,26 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
     t.slices.push_back({"broadcast", "network", 1,
                         w.pre_start + r.coord_filter_seconds,
                         r.broadcast_seconds, b});
+    // A fleet-wide MRAM patch leads the device phase (device_seconds
+    // already includes it), so the host slices start after it and still end
+    // exactly at w.device_end.
+    const double fleet_start = w.device_start + slot.patch_seconds;
+    if (slot.patch_seconds > 0) {
+      patch_slices.push_back(t.slices.size());
+      t.slices.push_back({"mram-patch", "patch", 0, w.device_start,
+                          slot.patch_seconds, b});
+    }
     for (std::size_t h = 0; h < r.host_slots.size(); ++h) {
       const core::MultiHostHostSlot& s = r.host_slots[h];
       if (!s.active) continue;
       const int lane = static_cast<int>(2 + h);
       if (s.host_seconds > 0) {
-        t.slices.push_back({"alg2-schedule", "host", lane, w.device_start,
+        t.slices.push_back({"alg2-schedule", "host", lane, fleet_start,
                             s.host_seconds, b});
       }
       if (s.device_seconds > 0) {
         t.slices.push_back({"device-phase", "device", lane,
-                            w.device_start + s.host_seconds,
+                            fleet_start + s.host_seconds,
                             s.device_seconds, b});
       }
       max_host_lane = std::max(max_host_lane, h);
@@ -190,6 +233,13 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
     t.lanes.emplace_back(static_cast<int>(2 + h),
                          "host-" + std::to_string(h));
   }
+  // Patch lane only exists when some batch actually patched, so read-only
+  // runs export a byte-identical trace.
+  if (!patch_slices.empty()) {
+    const int lane = static_cast<int>(2 + max_host_lane + 1);
+    for (std::size_t i : patch_slices) t.slices[i].lane = lane;
+    t.lanes.emplace_back(lane, "mram-patch");
+  }
   return t;
 }
 
@@ -204,6 +254,22 @@ void write_text_file(const std::string& path, const std::string& content) {
   f.write(content.data(),
           static_cast<std::streamsize>(content.size()));
   if (!f) throw std::runtime_error("short write to " + path);
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+void write_text_file_guarded(const std::string& path,
+                             const std::string& content, bool force) {
+  if (!force && file_exists(path)) {
+    common::log_warn("refusing to overwrite existing file " + path +
+                     " (pass --force to overwrite)");
+    throw std::runtime_error("refusing to overwrite existing file " + path +
+                             " (pass --force to overwrite)");
+  }
+  write_text_file(path, content);
 }
 
 void write_trace_file(const std::string& path,

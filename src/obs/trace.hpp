@@ -36,6 +36,8 @@
 
 namespace upanns::obs {
 
+class SpanLog;
+
 /// Simulated-time windows of one batch on the host and device lanes.
 struct BatchWindows {
   double host_start = 0, host_end = 0;
@@ -71,8 +73,12 @@ struct PipelineTrace {
 PipelineTrace pipeline_trace(const core::BatchPipelineReport& report);
 
 /// Serialize to Chrome trace-event JSON ("traceEvents" array of X slices and
-/// M thread-name metadata; ts/dur in microseconds).
-std::string trace_json(const PipelineTrace& trace);
+/// M thread-name metadata; ts/dur in microseconds). When `spans` is non-null
+/// its forest is appended as async "b"/"e" event pairs (id = span id, parent
+/// and query ids in args), so Perfetto nests per-query spans under their
+/// batch; a null span log reproduces the span-free output byte-for-byte.
+std::string trace_json(const PipelineTrace& trace,
+                       const SpanLog* spans = nullptr);
 
 /// pipeline_trace + trace_json + write to `path` (throws std::runtime_error
 /// when the file cannot be written).
@@ -91,5 +97,15 @@ void write_multihost_trace_file(const std::string& path,
 
 /// Write `content` to `path` (throws std::runtime_error on failure).
 void write_text_file(const std::string& path, const std::string& content);
+
+/// True when `path` exists (any file type).
+bool file_exists(const std::string& path);
+
+/// write_text_file, but refuse to clobber: when `path` already exists and
+/// `force` is false, log a warning and throw std::runtime_error telling the
+/// caller to pass --force. The CLI routes every telemetry output through
+/// this so existing artifacts are never silently overwritten.
+void write_text_file_guarded(const std::string& path,
+                             const std::string& content, bool force);
 
 }  // namespace upanns::obs

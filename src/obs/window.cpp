@@ -1,0 +1,235 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace upanns::obs {
+
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double min, double max, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  double cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cum + static_cast<double>(counts[b]);
+    if (rank <= next || b + 1 == counts.size()) {
+      // Interpolate inside bucket b between its lower and upper edge; the
+      // extreme buckets use the observed min/max as their missing edge.
+      const double lo = b == 0 ? min : bounds[b - 1];
+      const double hi = b == bounds.size() ? max : bounds[b];
+      const double frac =
+          std::clamp((rank - cum) / static_cast<double>(counts[b]), 0.0, 1.0);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cum = next;
+  }
+  return max;
+}
+
+WindowedHistogram::WindowedHistogram(WindowOptions opts,
+                                     std::vector<double> bounds)
+    : opts_(opts), bounds_(std::move(bounds)) {
+  if (opts_.slots == 0) {
+    throw std::invalid_argument("WindowedHistogram: slots == 0");
+  }
+  if (!(opts_.width_seconds > 0)) {
+    throw std::invalid_argument("WindowedHistogram: width_seconds <= 0");
+  }
+  if (bounds_.empty()) {
+    throw std::invalid_argument("WindowedHistogram: empty bucket bounds");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "WindowedHistogram: bounds not strictly increasing");
+    }
+  }
+  slot_width_ = opts_.width_seconds / static_cast<double>(opts_.slots);
+  ring_.resize(opts_.slots);
+  for (Slot& s : ring_) s.counts.assign(bounds_.size() + 1, 0);
+}
+
+std::int64_t WindowedHistogram::slot_index(double t) const {
+  if (!(t > 0)) return 0;  // negative (or NaN) timestamps clamp to the origin
+  return static_cast<std::int64_t>(std::floor(t / slot_width_));
+}
+
+void WindowedHistogram::rotate_to(std::int64_t idx) {
+  const std::int64_t S = static_cast<std::int64_t>(opts_.slots);
+  auto ring_pos = [S](std::int64_t i) {
+    return static_cast<std::size_t>(((i % S) + S) % S);
+  };
+  auto reset = [this](Slot& s, std::int64_t i) {
+    s.index = i;
+    std::fill(s.counts.begin(), s.counts.end(), 0);
+    s.count = 0;
+    s.sum = 0;
+    s.min = 0;
+    s.max = 0;
+  };
+  if (cur_ < 0) {
+    // First rotation: the window is (idx - S, idx], all slots empty.
+    for (std::int64_t i = idx - S + 1; i <= idx; ++i) {
+      reset(ring_[ring_pos(i)], i);
+    }
+    cur_ = idx;
+    return;
+  }
+  if (idx <= cur_) return;  // never rotate backwards
+  // Expire every slot the rotation passes (at most S of them matter).
+  const std::int64_t from = std::max(cur_ + 1, idx - S + 1);
+  for (std::int64_t i = from; i <= idx; ++i) reset(ring_[ring_pos(i)], i);
+  if (idx - cur_ >= S) {
+    // Jumped past the whole ring: everything expired; reindex the rest too.
+    for (std::int64_t i = idx - S + 1; i < from; ++i) {
+      reset(ring_[ring_pos(i)], i);
+    }
+  }
+  cur_ = idx;
+}
+
+WindowedHistogram::Slot& WindowedHistogram::slot_for(std::int64_t idx) {
+  const std::int64_t S = static_cast<std::int64_t>(opts_.slots);
+  // Older-than-window observations clamp into the oldest live slot (counts
+  // are never dropped — see file comment on restarted timelines).
+  idx = std::clamp(idx, cur_ - S + 1, cur_);
+  return ring_[static_cast<std::size_t>(((idx % S) + S) % S)];
+}
+
+void WindowedHistogram::observe(double t, double v, std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard lk(mu_);
+  const std::int64_t idx = slot_index(t);
+  if (cur_ < 0 || idx > cur_) rotate_to(idx);
+  Slot& s = slot_for(idx);
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  s.counts[b] += n;
+  if (s.count == 0) {
+    s.min = v;
+    s.max = v;
+  } else {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.count += n;
+  s.sum += v * static_cast<double>(n);
+}
+
+void WindowedHistogram::advance(double t) {
+  std::lock_guard lk(mu_);
+  const std::int64_t idx = slot_index(t);
+  if (cur_ < 0 || idx > cur_) rotate_to(idx);
+}
+
+double WindowedHistogram::now() const {
+  std::lock_guard lk(mu_);
+  if (cur_ < 0) return 0.0;
+  return static_cast<double>(cur_ + 1) * slot_width_;
+}
+
+std::uint64_t WindowedHistogram::count() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  if (cur_ < 0) return n;
+  for (const Slot& s : ring_) n += s.count;
+  return n;
+}
+
+double WindowedHistogram::sum() const {
+  std::lock_guard lk(mu_);
+  double v = 0;
+  if (cur_ < 0) return v;
+  for (const Slot& s : ring_) v += s.sum;
+  return v;
+}
+
+double WindowedHistogram::rate() const {
+  return static_cast<double>(count()) / opts_.width_seconds;
+}
+
+double WindowedHistogram::min() const {
+  std::lock_guard lk(mu_);
+  double v = std::numeric_limits<double>::infinity();
+  if (cur_ < 0) return v;
+  for (const Slot& s : ring_) {
+    if (s.count > 0) v = std::min(v, s.min);
+  }
+  return v;
+}
+
+double WindowedHistogram::max() const {
+  std::lock_guard lk(mu_);
+  double v = -std::numeric_limits<double>::infinity();
+  if (cur_ < 0) return v;
+  for (const Slot& s : ring_) {
+    if (s.count > 0) v = std::max(v, s.max);
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> WindowedHistogram::bucket_counts() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  if (cur_ < 0) return out;
+  for (const Slot& s : ring_) {
+    for (std::size_t b = 0; b < out.size(); ++b) out[b] += s.counts[b];
+  }
+  return out;
+}
+
+double WindowedHistogram::quantile(double q) const {
+  return quantile_from_buckets(bounds_, bucket_counts(), min(), max(), q);
+}
+
+void WindowedHistogram::merge_from(const WindowedHistogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument(
+        "WindowedHistogram::merge_from: bucket bounds differ");
+  }
+  // Copy the other's live slots under its lock, then fold under ours
+  // (avoids holding both mutexes at once — no lock-order concern).
+  std::vector<Slot> theirs;
+  std::int64_t their_cur;
+  double their_width;
+  {
+    std::lock_guard lk(other.mu_);
+    theirs = other.ring_;
+    their_cur = other.cur_;
+    their_width = other.slot_width_;
+  }
+  if (their_cur < 0) return;
+  std::lock_guard lk(mu_);
+  const std::int64_t their_now_idx =
+      slot_index(static_cast<double>(their_cur + 1) * their_width -
+                 0.5 * their_width);
+  if (cur_ < 0 || their_now_idx > cur_) rotate_to(their_now_idx);
+  for (const Slot& s : theirs) {
+    if (s.count == 0) continue;
+    // Re-time the slot onto our axis by its midpoint.
+    const double mid = (static_cast<double>(s.index) + 0.5) * their_width;
+    Slot& dst = slot_for(slot_index(mid));
+    for (std::size_t b = 0; b < dst.counts.size(); ++b) {
+      dst.counts[b] += s.counts[b];
+    }
+    if (dst.count == 0) {
+      dst.min = s.min;
+      dst.max = s.max;
+    } else {
+      dst.min = std::min(dst.min, s.min);
+      dst.max = std::max(dst.max, s.max);
+    }
+    dst.count += s.count;
+    dst.sum += s.sum;
+  }
+}
+
+}  // namespace upanns::obs

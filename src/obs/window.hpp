@@ -1,0 +1,112 @@
+// Rolling time-windowed histograms — the "what is p99 over the last 10
+// seconds" half of the telemetry plane (MetricsRegistry keeps the
+// cumulative-since-start half).
+//
+// A WindowedHistogram is a ring of `slots` sub-histograms over a window of
+// `width_seconds`. The simulated-time axis is divided into fixed slots of
+// width_seconds / slots, *aligned to t = 0* (slot i covers
+// [i * slot_width, (i + 1) * slot_width)); the live window is always the
+// last `slots` slots including the current partial one, so readouts cover
+// between (slots-1)/slots and 1.0 of width_seconds of simulated time.
+// Observations carry explicit timestamps because all pipeline time is
+// simulated — there is no wall clock to sample.
+//
+// Slot expiry: observing (or advance()-ing) at time t rotates the ring
+// forward to slot floor(t / slot_width), resetting every slot it passes.
+// Out-of-order observations inside the live window land in their own slot;
+// observations older than the window (e.g. a second pipeline run restarting
+// its timeline at 0) are clamped into the oldest live slot so counts are
+// never silently dropped.
+//
+// Quantiles share quantile_from_buckets() with the cumulative Histogram, so
+// a windowed p99 over a steady workload matches the cumulative quantile
+// within one bucket (pinned in test_telemetry).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace upanns::obs {
+
+/// Sliding-window shape: total width and the number of ring slots it is
+/// divided into. More slots = finer expiry granularity, more memory.
+struct WindowOptions {
+  double width_seconds = 10.0;
+  std::size_t slots = 20;
+};
+
+/// Shared quantile kernel: linear interpolation inside the chosen bucket of
+/// a fixed-bound histogram, clamped to the observed min/max (the extreme
+/// buckets use min/max as their missing edge). `counts` has
+/// bounds.size() + 1 entries (last = overflow). Returns 0 when empty.
+/// Histogram::quantile and WindowedHistogram::quantile both delegate here,
+/// which is what makes windowed and cumulative quantiles comparable.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             double min, double max, double q);
+
+/// Ring-of-histograms sliding window (see file comment). Thread-safe via an
+/// internal mutex — observations are per-batch accounting events, never the
+/// per-record hot path.
+class WindowedHistogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty; `opts.slots` >= 1
+  /// and `opts.width_seconds` > 0 (throws std::invalid_argument otherwise).
+  WindowedHistogram(WindowOptions opts, std::vector<double> bounds);
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  /// Record `n` observations of value `v` at simulated time `t` (negative t
+  /// clamps to 0). Rotates the window forward when t is ahead of it.
+  void observe(double t, double v, std::uint64_t n = 1);
+
+  /// Rotate the window forward to time `t` without observing — expires
+  /// slots older than the window. Never rotates backwards.
+  void advance(double t);
+
+  /// Latest simulated time the window was rotated to (0 before any use).
+  double now() const;
+
+  std::uint64_t count() const;  ///< observations in the live window
+  double sum() const;
+  double rate() const;          ///< count() / width_seconds
+  double min() const;           ///< +inf when empty
+  double max() const;           ///< -inf when empty
+  /// Quantile over the live window (quantile_from_buckets semantics).
+  double quantile(double q) const;
+
+  const WindowOptions& options() const { return opts_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Merged live-window bucket counts; bounds().size() + 1 entries.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Fold another window (same bounds) into this one: rotate both to the
+  /// later of the two nows, then add the other's live slots slot-by-slot
+  /// (clamping into the oldest live slot where shapes differ). Used when
+  /// combining per-shard registries.
+  void merge_from(const WindowedHistogram& other);
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;  ///< absolute slot index on the time axis
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0, max = 0;  ///< valid only when count > 0
+  };
+
+  std::int64_t slot_index(double t) const;
+  void rotate_to(std::int64_t idx);  ///< requires mu_ held
+  Slot& slot_for(std::int64_t idx);  ///< requires mu_ held; clamps to window
+
+  WindowOptions opts_;
+  std::vector<double> bounds_;
+  double slot_width_ = 0;
+  mutable std::mutex mu_;
+  std::vector<Slot> ring_;
+  std::int64_t cur_ = -1;  ///< -1 = never rotated
+};
+
+}  // namespace upanns::obs

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
+#include "core/multihost.hpp"
 #include "data/query_workload.hpp"
 #include "ivf/cluster_stats.hpp"
 #include "ivf/ivf_index.hpp"
@@ -574,6 +575,53 @@ TEST(BackendUpdates, CapabilityAndLazyPatch) {
     for (const auto& nb : a.neighbors[q]) EXPECT_NE(nb.id, dead);
     for (const auto& nb : b.neighbors[q]) EXPECT_NE(nb.id, dead);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-host streaming updates.
+
+TEST(MultiHostUpdates, PatchedHostsMatchFreshClusterMidStream) {
+  // Mutations route through the cluster's shared index; every host patches
+  // only its own shard. Mid-stream (tombstones still live in MRAM), the
+  // patched cluster must serve bit-identically to a fresh cluster built over
+  // the mutated index.
+  auto& f = fixture();
+  ivf::IvfIndex mut = f.index;
+  core::MultiHostOptions mh;
+  mh.n_hosts = 3;
+  mh.per_host = f.options();
+  mh.per_host.opt_cae = false;  // append path == fresh path, bit for bit
+  core::MultiHostUpAnns cluster(mut, f.stats, mh);
+  ASSERT_TRUE(cluster.updatable());
+  EXPECT_FALSE(cluster.needs_patch());
+
+  common::Rng rng(77);
+  std::vector<std::uint32_t> ids;
+  std::vector<float> flat;
+  std::uint32_t next_id = static_cast<std::uint32_t>(f.base.n);
+  for (int i = 0; i < 90; ++i) {
+    const std::vector<float> v = perturbed_row(f, rng);
+    ids.push_back(next_id++);
+    flat.insert(flat.end(), v.begin(), v.end());
+  }
+  cluster.upsert(ids, flat);
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t id = 0; id < 60; ++id) dead.push_back(id * 11);
+  EXPECT_EQ(cluster.remove(dead), dead.size());
+
+  ASSERT_TRUE(cluster.needs_patch());
+  const auto ps = cluster.patch_hosts();
+  EXPECT_GT(ps.bytes_written, 0u);
+  EXPECT_GT(ps.lists_patched, 0u);
+  EXPECT_FALSE(cluster.needs_patch());
+
+  core::MultiHostUpAnns fresh(static_cast<const ivf::IvfIndex&>(mut), f.stats,
+                              mh);
+  const auto a = cluster.search(f.wl.queries);
+  const auto b = fresh.search(f.wl.queries);
+  expect_same_neighbors(a.neighbors, b.neighbors);
+  EXPECT_EQ(a.slowest_host_seconds, b.slowest_host_seconds);
+  EXPECT_EQ(a.seconds, b.seconds);
 }
 
 }  // namespace
