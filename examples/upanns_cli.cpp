@@ -9,6 +9,8 @@
 //                     [--metrics-out metrics.json] [--prom-out metrics.prom]
 //   upanns_cli serve  --index index.bin --data base.fvecs --queries 512
 //                     --batch 64 [--hosts 4] [--no-overlap]
+//                     [--online --target-qps 2000 --deadline-ms 2
+//                      --queue-cap 1024 --clients 4]
 //                     [--update-rate 0.05 [--compact-ratio 0.3]]
 //                     [--trace-out trace.json] [--metrics-out metrics.json]
 //                     [--spans-out spans.json] [--prom-out metrics.prom]
@@ -20,7 +22,11 @@
 // the common core::AnnsBackend interface; `serve` streams query batches
 // through the double-buffered core::BatchPipeline — or, with `--hosts N`,
 // through the overlapped multi-host core::MultiHostBatchPipeline (network
-// modeled via --net-gbps / --net-latency-us). `--update-rate R` mixes writes
+// modeled via --net-gbps / --net-latency-us). `serve --online` runs the
+// real-threaded continuous-batching front-end instead (src/serve/):
+// per-client submitter threads offer Poisson traffic at --target-qps,
+// batches close at --batch requests or --deadline-ms after the oldest one,
+// the bounded queue (--queue-cap) rejects overload, and shutdown drains. `--update-rate R` mixes writes
 // into the stream (single- or multi-host): before each batch, ~R * batch_size
 // mutations are issued — half inserts of perturbed base vectors under fresh
 // ids, half removes of random live ids — then applied as one incremental
@@ -47,7 +53,9 @@
 // `gen` writes TEXMEX .fvecs files, so real SIFT/DEEP/SPACEV slices can be
 // substituted for the synthetic data at any step.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,10 +85,18 @@
 #include "obs/report_json.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "serve/executors.hpp"
+#include "serve/server.hpp"
 
 using namespace upanns;
 
 namespace {
+
+/// A bad flag value, not a runtime failure: main() maps this to exit code 2
+/// (as opposed to 3 for everything else) so scripts can tell the two apart.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -119,6 +135,19 @@ struct Args {
     return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
   }
 };
+
+/// Read a numeric flag and reject NaN/inf/out-of-range values up front —
+/// a mistyped `--deadline-ms abc` (strtod -> 0) must not silently serve
+/// with a zero deadline.
+double checked_real(const Args& a, const std::string& key, double dflt,
+                    bool allow_zero = false) {
+  const double v = a.real(key, dflt);
+  if (!std::isfinite(v) || (allow_zero ? v < 0 : !(v > 0))) {
+    throw UsageError("--" + key + " must be a finite " +
+                     (allow_zero ? "non-negative" : "positive") + " number");
+  }
+  return v;
+}
 
 data::DatasetFamily family_of(const std::string& name) {
   if (name == "deep") return data::DatasetFamily::kDeepLike;
@@ -417,7 +446,7 @@ int cmd_serve(const Args& a) {
 
   obs::MetricsRegistry registry;
   registry.set_window_options(
-      {a.real("window-seconds", 10.0), a.num("window-slots", 20)});
+      {checked_real(a, "window-seconds", 10.0), a.num("window-slots", 20)});
   // The registry is attached only when some output actually consumes it —
   // a plain `--trace-out` run stays sink-free and byte-identical to a run
   // with no telemetry flags at all.
@@ -426,8 +455,152 @@ int cmd_serve(const Args& a) {
   obs::SpanLog spans;
   const bool want_spans = !spans_out.empty();
 
+  const double update_rate =
+      checked_real(a, "update-rate", 0.0, /*allow_zero=*/true);
+
+  // --online: real-threaded continuous batching. Per-client submitter
+  // threads push single queries at --target-qps (open-loop Poisson); the
+  // server's batcher thread closes each batch at --batch requests or
+  // --deadline-ms after its oldest request — whichever first — and executes
+  // it through the same engine entry points as offline serve, so neighbors
+  // are bit-identical to pre-formed batches.
+  if (a.flag("online")) {
+    if (update_rate > 0) {
+      throw UsageError("--update-rate is not supported with --online");
+    }
+    const double target_qps = checked_real(a, "target-qps", 2000.0);
+    serve::BatchPolicy policy;
+    policy.max_batch = a.num("batch", 64);
+    policy.deadline_seconds = checked_real(a, "deadline-ms", 2.0) * 1e-3;
+    if (policy.max_batch == 0) throw UsageError("--batch must be positive");
+    const std::size_t queue_cap = a.num("queue-cap", 1024);
+    const std::size_t n_clients =
+        std::max<std::size_t>(1, a.num("clients", 4));
+    const std::size_t hosts = a.num("hosts", 1);
+
+    std::unique_ptr<core::MultiHostUpAnns> cluster;
+    std::unique_ptr<core::UpAnnsBackend> backend;
+    std::unique_ptr<core::BatchStream> stream;
+    serve::BatchExecutor exec;
+    if (hosts > 1) {
+      if (!trace_out.empty()) {
+        throw UsageError(
+            "--trace-out requires the single-host pipeline (drop --hosts "
+            "or --online)");
+      }
+      core::MultiHostOptions mh;
+      mh.n_hosts = hosts;
+      mh.per_host = opts;
+      mh.network_bandwidth = a.real("net-gbps", 25.0) * 1e9 / 8.0;
+      mh.network_latency = a.real("net-latency-us", 50.0) * 1e-6;
+      cluster = std::make_unique<core::MultiHostUpAnns>(index, stats, mh);
+      if (want_metrics) cluster->set_metrics(&registry);
+      exec = [&c = *cluster](const data::Dataset& batch) {
+        core::MultiHostReport r = c.search(batch);
+        return serve::ExecResult{std::move(r.neighbors), r.seconds};
+      };
+    } else {
+      backend = std::make_unique<core::UpAnnsBackend>(index, stats, opts);
+      if (want_metrics) backend->set_metrics(&registry);
+      if (want_spans) backend->engine().set_spans(&spans);
+      core::BatchPipelineOptions popts;
+      popts.overlap = !a.flag("no-overlap");
+      // Wall-clock request latency is booked by the server below; the
+      // stream must not also book its simulated per-query latency.
+      popts.book_query_latency = false;
+      stream = std::make_unique<core::BatchStream>(backend->engine(), popts);
+      exec = serve::stream_executor(*stream);
+    }
+
+    serve::ServeOptions sopts;
+    sopts.dim = wl.queries.dim;
+    sopts.policy = policy;
+    sopts.queue_capacity = queue_cap;
+    sopts.metrics = want_metrics ? &registry : nullptr;
+    serve::Server server(std::move(exec), sopts);
+
+    // Each client owns an equal share of the offered rate and pulls the
+    // next workload row from a shared counter; rejections (try_submit ->
+    // nullopt) are the backpressure signal and are counted by the server.
+    std::atomic<std::size_t> next_row{0};
+    const double per_client_qps =
+        target_qps / static_cast<double>(n_clients);
+    std::vector<std::thread> clients;
+    clients.reserve(n_clients);
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        common::Rng rng(wspec.seed * 1000003 + c);
+        for (;;) {
+          const std::size_t i =
+              next_row.fetch_add(1, std::memory_order_relaxed);
+          if (i >= wl.queries.n) break;
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              -std::log1p(-rng.uniform()) / per_client_qps));
+          (void)server.try_submit({wl.queries.row(i), wl.queries.dim});
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    server.drain();
+
+    const serve::ServeStats sstats = server.stats();
+    const serve::ServeSummary summary =
+        serve::summarize(server.request_log(), server.batch_log(), policy);
+    std::printf("online serve: %zu offered, %llu accepted, %llu rejected, "
+                "%llu completed, %llu failed (%zu clients)\n",
+                wl.queries.n,
+                static_cast<unsigned long long>(sstats.accepted),
+                static_cast<unsigned long long>(sstats.rejected),
+                static_cast<unsigned long long>(sstats.completed),
+                static_cast<unsigned long long>(sstats.failed), n_clients);
+    std::printf("batches: %llu (%llu full, %llu deadline, %llu drain), "
+                "mean fill %.2f\n",
+                static_cast<unsigned long long>(sstats.batches),
+                static_cast<unsigned long long>(sstats.full_closes),
+                static_cast<unsigned long long>(sstats.deadline_closes),
+                static_cast<unsigned long long>(sstats.drain_closes),
+                summary.mean_batch_fill);
+    std::printf("latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms, max "
+                "%.3f ms (mean queue wait %.3f ms)\n",
+                summary.p50 * 1e3, summary.p99 * 1e3, summary.mean * 1e3,
+                summary.max * 1e3, summary.mean_queue_wait * 1e3);
+    std::printf("achieved %.1f qps of %.1f offered\n", summary.achieved_qps,
+                target_qps);
+
+    // Close the stream first: the Perfetto trace carries the pipeline's
+    // *simulated* timeline, so the wall-clock request spans appended after
+    // it go to --spans-out only.
+    if (stream) {
+      const auto run = stream->finish();
+      if (!trace_out.empty()) {
+        const auto trace = obs::pipeline_trace(run);
+        obs::write_text_file_guarded(
+            trace_out, obs::trace_json(trace, want_spans ? &spans : nullptr),
+            force);
+        std::printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n",
+                    trace_out.c_str());
+      }
+    }
+    if (want_spans) {
+      serve::append_request_spans(spans, server.request_log());
+      obs::write_text_file_guarded(spans_out, obs::span_log_json(spans),
+                                   force);
+      std::printf("wrote %zu spans to %s\n", spans.size(), spans_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      write_metrics_json(metrics_out, "serve_report",
+                         serve::serve_report_json(summary, sstats),
+                         registry.snapshot(), force);
+    }
+    if (!prom_out.empty()) {
+      obs::write_text_file_guarded(
+          prom_out, obs::prometheus_text(registry.snapshot()), force);
+      std::printf("wrote Prometheus text to %s\n", prom_out.c_str());
+    }
+    return 0;
+  }
+
   const auto batches = core::split_batches(wl.queries, a.num("batch", 64));
-  const double update_rate = a.real("update-rate", 0.0);
   const double compact_ratio = a.real("compact-ratio", 0.3);
   UpdateStream updates(ds, batches, update_rate, compact_ratio,
                        a.num("seed", 5), index.n_points());
@@ -714,6 +887,8 @@ int usage() {
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
                "         [--hosts N --net-gbps G --net-latency-us U]\n"
                "         [--update-rate R --compact-ratio C]\n"
+               "         [--online --target-qps Q --deadline-ms D\n"
+               "          --queue-cap C --clients K]\n"
                "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"
                "         [--spans-out S.json] [--prom-out M.prom]\n"
                "         [--stats-every N --window-seconds W --window-slots S]\n"
@@ -746,6 +921,9 @@ int main(int argc, char** argv) {
     if (cmd == "search") return cmd_search(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stats") return cmd_stats(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

@@ -38,6 +38,17 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::drain() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::move(first_error_);
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -48,7 +59,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not escape the worker (std::terminate) nor leak
+    // its in_flight_ decrement (a wedged wait_idle): capture the first
+    // error for drain() and always fall through to the accounting below.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lk(mu_);
       --in_flight_;

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -26,11 +27,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue an arbitrary task.
+  /// Enqueue an arbitrary task. A task that throws does not take down its
+  /// worker thread: the first exception is captured and held until drain()
+  /// rethrows it, and the task still counts as finished for wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Never throws; errors
+  /// raised by tasks stay captured until drain() surfaces them.
   void wait_idle();
+
+  /// wait_idle(), then rethrow the first exception any submitted task threw
+  /// since the last drain() (clearing the stored error). Returns normally
+  /// when every task succeeded. Long-lived servers call this between
+  /// workload phases so a failed handler surfaces instead of vanishing.
+  void drain();
 
   /// Run fn(i) for i in [begin, end) split into contiguous chunks across the
   /// pool, blocking until complete. Falls back to inline execution for tiny
@@ -57,6 +67,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mu_; cleared by drain()
 };
 
 }  // namespace upanns::common

@@ -380,46 +380,42 @@ double leading_host_seconds(const SearchReport& report) {
   return seconds;
 }
 
-BatchPipeline::BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts)
-    : engine_(engine), opts_(opts) {}
-
-BatchPipelineReport BatchPipeline::run(
-    const std::vector<data::Dataset>& batches) {
-  return run(batches, MutationHook{});
+BatchStream::BatchStream(UpAnnsEngine& engine, BatchPipelineOptions opts)
+    : engine_(engine), opts_(opts), pipeline_(engine) {
+  out_.overlapped = opts_.overlap;
 }
 
-BatchPipelineReport BatchPipeline::run(
-    const std::vector<data::Dataset>& batches, const MutationHook& mutate) {
-  BatchPipelineReport out;
-  out.overlapped = opts_.overlap;
-
-  QueryPipeline pipeline(engine_);
-  std::uint64_t first_query_id = 0;
-  for (std::size_t b = 0; b < batches.size(); ++b) {
-    const data::Dataset& batch = batches[b];
-    BatchSlot slot;
-    if (mutate) mutate(b);
-    if (engine_.updatable() && engine_.needs_patch()) {
-      const UpAnnsEngine::PatchStats ps = engine_.patch_dpus();
-      slot.patch_seconds = ps.seconds;
-      slot.patch_bytes = ps.bytes_written;
-    }
-    slot.report = pipeline.run(batch, nullptr, b, first_query_id);
-    first_query_id += batch.n;
-
-    // Host prefix = the leading kHost trace entries (filter + schedule);
-    // the device phase is the exact remainder of the batch total plus any
-    // MRAM patch, so host + device always reproduces times.total() (+
-    // patch) bit-for-bit. With no mutations pending patch_seconds is 0 and
-    // the accounting matches the read-only overload exactly.
-    slot.host_seconds = leading_host_seconds(slot.report);
-    slot.device_seconds =
-        slot.report.times.total() - slot.host_seconds + slot.patch_seconds;
-
-    out.n_queries += batch.n;
-    out.serial_seconds += slot.report.times.total() + slot.patch_seconds;
-    out.slots.push_back(std::move(slot));
+const BatchSlot& BatchStream::run_batch(const data::Dataset& batch) {
+  BatchSlot slot;
+  if (engine_.updatable() && engine_.needs_patch()) {
+    const UpAnnsEngine::PatchStats ps = engine_.patch_dpus();
+    slot.patch_seconds = ps.seconds;
+    slot.patch_bytes = ps.bytes_written;
   }
+  slot.report = pipeline_.run(batch, nullptr, out_.slots.size(),
+                              first_query_id_);
+  first_query_id_ += batch.n;
+
+  // Host prefix = the leading kHost trace entries (filter + schedule);
+  // the device phase is the exact remainder of the batch total plus any
+  // MRAM patch, so host + device always reproduces times.total() (+
+  // patch) bit-for-bit. With no mutations pending patch_seconds is 0 and
+  // the accounting matches the read-only overload exactly.
+  slot.host_seconds = leading_host_seconds(slot.report);
+  slot.device_seconds =
+      slot.report.times.total() - slot.host_seconds + slot.patch_seconds;
+
+  out_.n_queries += batch.n;
+  out_.serial_seconds += slot.report.times.total() + slot.patch_seconds;
+  out_.slots.push_back(std::move(slot));
+  return out_.slots.back();
+}
+
+BatchPipelineReport BatchStream::finish() {
+  BatchPipelineReport out = std::move(out_);
+  out_ = BatchPipelineReport{};
+  out_.overlapped = opts_.overlap;
+  first_query_id_ = 0;
 
   if (!opts_.overlap || out.slots.empty()) {
     out.elapsed_seconds = out.serial_seconds;
@@ -456,11 +452,15 @@ BatchPipelineReport BatchPipeline::run(
       // Per-query latency under the pipeline's accounting: submission to
       // batch completion, recorded once per query of the batch, both
       // cumulatively and into the rolling window at its completion time.
-      const double latency = timeline[i].device_end - timeline[i].host_start;
-      const std::uint64_t nq = slot.report.neighbors.size();
-      sink.observe_n("query.latency_seconds", latency, nq);
-      sink.observe_window("query.latency_seconds", timeline[i].device_end,
-                          latency, nq);
+      // The serve layer books measured latencies instead (see
+      // BatchPipelineOptions::book_query_latency).
+      if (opts_.book_query_latency) {
+        const double latency = timeline[i].device_end - timeline[i].host_start;
+        const std::uint64_t nq = slot.report.neighbors.size();
+        sink.observe_n("query.latency_seconds", latency, nq);
+        sink.observe_window("query.latency_seconds", timeline[i].device_end,
+                            latency, nq);
+      }
     }
     sink.count("batch_pipeline.runs");
     sink.set("batch_pipeline.overlap_saved_seconds",
@@ -471,6 +471,24 @@ BatchPipelineReport BatchPipeline::run(
     obs::append_pipeline_spans(*engine_.spans(), out);
   }
   return out;
+}
+
+BatchPipeline::BatchPipeline(UpAnnsEngine& engine, BatchPipelineOptions opts)
+    : engine_(engine), opts_(opts) {}
+
+BatchPipelineReport BatchPipeline::run(
+    const std::vector<data::Dataset>& batches) {
+  return run(batches, MutationHook{});
+}
+
+BatchPipelineReport BatchPipeline::run(
+    const std::vector<data::Dataset>& batches, const MutationHook& mutate) {
+  BatchStream stream(engine_, opts_);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (mutate) mutate(b);
+    stream.run_batch(batches[b]);
+  }
+  return stream.finish();
 }
 
 std::vector<data::Dataset> split_batches(const data::Dataset& queries,

@@ -154,6 +154,12 @@ struct BatchPipelineOptions {
   /// Overlap host stages of batch i+1 with device stages of batch i. False
   /// reproduces the serial per-batch totals exactly (CLI --no-overlap).
   bool overlap = true;
+  /// Book per-query `query.latency_seconds` (cumulative + rolling window)
+  /// from the simulated timeline when the run finishes. The online serve
+  /// layer (src/serve/) turns this off and books measured enqueue→complete
+  /// latencies under the same name instead, so the metric never mixes the
+  /// simulated and wall-clock time bases.
+  bool book_query_latency = true;
 };
 
 /// One scheduled batch in a pipeline run.
@@ -181,6 +187,39 @@ struct BatchPipelineReport {
 /// previous batch's device phase. Shared by BatchPipeline and the
 /// multi-host per-host accounting (core/multihost.cpp).
 double leading_host_seconds(const SearchReport& report);
+
+/// Incremental (continuous) variant of BatchPipeline: batches are fed one
+/// at a time as they become available — the entry point the online serve
+/// layer (src/serve/) uses, where batch boundaries are decided by a
+/// deadline batcher instead of known up front. Accounting is identical to
+/// BatchPipeline::run over the same batch sequence (BatchPipeline is
+/// implemented on top of this class), including pending-mutation MRAM
+/// patches, slot metrics, span assembly and the overlap recurrence.
+class BatchStream {
+ public:
+  explicit BatchStream(UpAnnsEngine& engine, BatchPipelineOptions opts = {});
+
+  /// Apply any pending mutations as one MRAM patch, then run `batch`
+  /// through the six stages. The returned slot reference stays valid until
+  /// finish(). Query/batch telemetry ids continue across calls.
+  const BatchSlot& run_batch(const data::Dataset& batch);
+
+  std::size_t n_batches() const { return out_.slots.size(); }
+  std::size_t n_queries() const { return out_.n_queries; }
+  UpAnnsEngine& engine() { return engine_; }
+
+  /// Close the stream: compute the overlapped elapsed time, book the
+  /// pipeline metrics and spans, and return the report. The stream resets
+  /// and can be reused for a fresh run afterwards.
+  BatchPipelineReport finish();
+
+ private:
+  UpAnnsEngine& engine_;
+  BatchPipelineOptions opts_;
+  QueryPipeline pipeline_;
+  BatchPipelineReport out_;
+  std::uint64_t first_query_id_ = 0;
+};
 
 /// Streams query batches through the engine with double-buffered time
 /// accounting (see file comment). Execution itself stays serial, so

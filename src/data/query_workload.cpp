@@ -58,7 +58,14 @@ std::vector<double> estimate_frequencies(
     }
   }
   // Floor so never-seen clusters still get placed with nonzero workload.
-  const double floor_mass = total > 0 ? 0.1 : 1.0;
+  // The floor scales with the observed mass (1% of it, spread uniformly)
+  // instead of adding a fixed 0.1 per cluster — a fixed floor swamped real
+  // counts on short histories (10 queries over 200 clusters put 2/3 of the
+  // total mass into clusters nobody ever touched). With no history at all,
+  // fall back to a uniform distribution.
+  constexpr double kFloorShare = 0.01;
+  const double floor_mass =
+      total > 0 ? kFloorShare * total / static_cast<double>(n_clusters) : 1.0;
   for (auto& f : freq) f += floor_mass;
   total += floor_mass * static_cast<double>(n_clusters);
   for (auto& f : freq) f /= total;

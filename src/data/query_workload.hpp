@@ -39,7 +39,9 @@ QueryWorkload generate_workload(const Dataset& base, const WorkloadSpec& spec,
 
 /// Estimate per-cluster access frequencies from a history of filtered cluster
 /// id lists (one list per past query). Returns frequencies normalized so
-/// they sum to 1; clusters never accessed get a small floor > 0.
+/// they sum to 1; clusters never accessed get a small floor > 0 — a fixed
+/// share of the *observed* mass spread uniformly, so even a short history
+/// keeps ranking (and approximate ratios) by observed frequency.
 std::vector<double> estimate_frequencies(
     const std::vector<std::vector<std::uint32_t>>& history,
     std::size_t n_clusters);

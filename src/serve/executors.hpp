@@ -1,0 +1,40 @@
+// Adapters from the existing pipeline entry points to serve::BatchExecutor.
+// The serve layer stays ignorant of engines; these glue functions are the
+// only place the two meet. Both run on the caller's (batcher) thread.
+#pragma once
+
+#include <utility>
+
+#include "core/backend.hpp"
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+
+namespace upanns::serve {
+
+/// Executor over a core::BatchStream — the standard single-host online
+/// path (MRAM patching, slot metrics and spans included). The stream keeps
+/// its slots alive until finish(), so neighbors are copied out. The stream
+/// must outlive the returned executor.
+inline BatchExecutor stream_executor(core::BatchStream& stream) {
+  return [&stream](const data::Dataset& batch) {
+    const core::BatchSlot& slot = stream.run_batch(batch);
+    ExecResult r;
+    r.neighbors = slot.report.neighbors;
+    r.sim_seconds = slot.host_seconds + slot.device_seconds;
+    return r;
+  };
+}
+
+/// Executor over any core::AnnsBackend::search (UpANNS, baselines). The
+/// backend must outlive the returned executor.
+inline BatchExecutor backend_executor(core::AnnsBackend& backend) {
+  return [&backend](const data::Dataset& batch) {
+    core::SearchReport rep = backend.search(batch);
+    ExecResult r;
+    r.neighbors = std::move(rep.neighbors);
+    r.sim_seconds = rep.total_seconds();
+    return r;
+  };
+}
+
+}  // namespace upanns::serve

@@ -1,0 +1,64 @@
+#include "serve/request_queue.hpp"
+
+namespace upanns::serve {
+
+bool RequestQueue::try_push(Request&& r) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return false;
+    if (capacity_ > 0 && q_.size() >= capacity_) return false;
+    q_.push_back(std::move(r));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+bool RequestQueue::wait_nonempty() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  return !q_.empty();
+}
+
+void RequestQueue::wait_closeable(
+    std::size_t target, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lk(mu_);
+  cv_.wait_until(lk, deadline,
+                 [&] { return closed_ || q_.size() >= target; });
+}
+
+double RequestQueue::front_enqueue_seconds() const {
+  std::lock_guard lk(mu_);
+  return q_.front().enqueue_seconds;
+}
+
+std::vector<Request> RequestQueue::pop_batch(std::size_t max_n) {
+  std::lock_guard lk(mu_);
+  std::vector<Request> out;
+  const std::size_t n = std::min(max_n, q_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace upanns::serve

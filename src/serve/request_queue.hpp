@@ -1,0 +1,84 @@
+// The concurrent admission queue of the online serving front-end: a bounded
+// MPSC queue fed by per-client submitter threads and drained by the server's
+// batcher thread. Admission control is explicit — try_push fails (instead of
+// blocking) when the queue is at capacity, which is the backpressure signal
+// an overloaded server returns to its clients; close() starts a graceful
+// drain (no new requests, everything already queued still completes).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/topk.hpp"
+
+namespace upanns::serve {
+
+/// What a completed request hands back through its future.
+struct RequestResult {
+  std::uint64_t id = 0;  ///< submission-order request id (0-based)
+  std::vector<common::Neighbor> neighbors;  ///< final top-k, ascending
+  // Server-clock timestamps (seconds since server start).
+  double enqueue_seconds = 0;   ///< admitted into the queue
+  double batch_seconds = 0;     ///< the owning batch closed / dispatched
+  double complete_seconds = 0;  ///< results available
+  std::size_t batch_index = 0;  ///< which formed batch served it
+  std::size_t batch_size = 0;   ///< how many requests shared that batch
+};
+
+/// One admitted, not-yet-served request.
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<float> query;
+  double enqueue_seconds = 0;
+  std::promise<RequestResult> promise;
+};
+
+class RequestQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admit a request. Returns false — without blocking — when the queue is
+  /// full (backpressure) or closed (draining); the caller owns the rejected
+  /// request and its promise.
+  bool try_push(Request&& r);
+
+  /// Stop admitting. Requests already queued remain poppable so a draining
+  /// server can finish them.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+
+  /// Block until the queue is non-empty or closed. Returns false only when
+  /// closed *and* empty (the batcher's exit condition).
+  bool wait_nonempty();
+
+  /// Block until `target` requests wait, the queue closes, or `deadline`
+  /// passes — the three batch-close triggers of serve::BatchPolicy.
+  void wait_closeable(std::size_t target,
+                      std::chrono::steady_clock::time_point deadline);
+
+  /// Enqueue time of the oldest waiting request (requires size() > 0).
+  double front_enqueue_seconds() const;
+
+  /// Pop up to max_n requests in FIFO order.
+  std::vector<Request> pop_batch(std::size_t max_n);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace upanns::serve

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace upanns::common {
@@ -80,6 +82,65 @@ TEST(ThreadPool, WaitIdleWithNoTasks) {
 TEST(ThreadPool, GlobalPoolSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotAbort) {
+  // A task that throws used to escape the worker loop and terminate the
+  // process (and leave in_flight_ forever nonzero, hanging wait_idle).
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();  // must return despite the throw
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DrainRethrowsFirstError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.wait_idle();  // make the next throw unambiguously second
+  pool.submit([] { throw std::logic_error("second"); });
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  // drain() cleared the stored error; the pool is reusable.
+  pool.submit([] {});
+  pool.drain();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DrainWithoutErrorsIsWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ConcurrentSubmitAndWaitIdleStress) {
+  // Several producer threads submit while another thread repeatedly calls
+  // wait_idle; under TSan this exercises the queue/counter synchronization.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    while (!done.load()) pool.wait_idle();
+  });
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit([&] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  done.store(true);
+  waiter.join();
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
 }
 
 TEST(ThreadPool, NestedSubmitFromTask) {

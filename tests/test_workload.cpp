@@ -106,6 +106,29 @@ TEST(EstimateFrequencies, IgnoresOutOfRangeIds) {
   EXPECT_NEAR(f[0] + f[1], 1.0, 1e-9);
 }
 
+TEST(EstimateFrequencies, ShortHistoryStillRanksByObservation) {
+  // A 10-query history over many clusters: the unseen-cluster floor must
+  // scale with the observed mass, not swamp it (the old fixed floor of 0.1
+  // per cluster handed ~200 unseen clusters two thirds of the total mass).
+  const std::size_t n_clusters = 200;
+  std::vector<std::vector<std::uint32_t>> history(10);
+  for (std::size_t q = 0; q < history.size(); ++q) {
+    history[q] = {0, 0, 0, 1, 1, 2};  // cluster 0 hot, 1 warm, 2 cool
+  }
+  const auto f = estimate_frequencies(history, n_clusters);
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_GT(f[1], f[2]);
+  EXPECT_GT(f[2], f[3]);  // any observed cluster beats any unseen one
+  double observed = f[0] + f[1] + f[2];
+  EXPECT_GT(observed, 0.9);  // the floor stays a sliver of the total
+  // Observed ratios survive the normalization approximately: cluster 0 was
+  // hit 3x as often as cluster 2.
+  EXPECT_NEAR(f[0] / f[2], 3.0, 0.1);
+  for (std::size_t c = 3; c < n_clusters; ++c) {
+    EXPECT_GT(f[c], 0.0);  // unseen clusters keep a nonzero floor
+  }
+}
+
 TEST(Recall, PerfectAndPartial) {
   using common::Neighbor;
   const std::vector<std::vector<Neighbor>> exact = {
