@@ -95,8 +95,10 @@ int main(int argc, char** argv) {
   // --- Single host: one engine, one BatchPipeline per accounting mode.
   // The pipeline object persists across repetitions, so reps >= 2 time the
   // warm (allocation-free) path; rep 1 includes kernel-pool construction.
+  const double t_load0 = now_seconds();
   auto backend = make_backend(core::BackendKind::kUpAnns, cfg, &opts);
   auto& engine = static_cast<core::UpAnnsBackend&>(*backend).engine();
+  const double engine_load_seconds = now_seconds() - t_load0;
 
   StageResult single_overlap, single_serial;
   core::BatchPipelineReport last_single;
@@ -150,6 +152,18 @@ int main(int argc, char** argv) {
                    metrics::Table::fmt(r.qps(), 1)});
   };
   row("build(index+workload)", build);
+  const auto sub = [&](const char* name, double seconds) {
+    table.add_row({name, metrics::Table::fmt(seconds, 3), "-"});
+  };
+  sub("  build/data_gen", ctx.data_gen_seconds);
+  sub("  build/coarse_kmeans", ctx.build_stats.kmeans_seconds);
+  sub("  build/coarse_assign", ctx.build_stats.assign_seconds);
+  sub("  build/residual", ctx.build_stats.residual_seconds);
+  sub("  build/pq_train", ctx.build_stats.pq_train_seconds);
+  sub("  build/encode", ctx.build_stats.encode_seconds);
+  sub("  build/workload", ctx.workload_seconds);
+  sub("  build/stats", ctx.stats_seconds);
+  sub("  build/engine_load", engine_load_seconds);
   row("single_host_overlap", single_overlap);
   row("single_host_serial", single_serial);
   row("multi_host_overlap", multi_overlap);
@@ -163,7 +177,7 @@ int main(int argc, char** argv) {
   obs::JsonWriter w;
   w.begin_object();
   obs::append_provenance(w);
-  w.kv("schema", "upanns.bench_host.v1");
+  w.kv("schema", "upanns.bench_host.v2");
   w.kv("quick", quick);
   w.key("config").begin_object();
   w.kv("n", static_cast<std::uint64_t>(cfg.n));
@@ -177,7 +191,23 @@ int main(int argc, char** argv) {
   w.kv("queries_per_second", serve.qps());
   w.kv("simulated_qps", last_single.qps);
   w.key("stages").begin_object();
-  write_stage(w, "build", build);
+  w.key("build").begin_object();
+  w.kv("wall_seconds", build.wall_seconds);
+  w.kv("queries_per_second", build.qps());
+  // Where the build wall went (schema v2): index training dominates; the
+  // workload/stats substages cover query generation and frequency history.
+  w.key("substages").begin_object();
+  w.kv("data_gen_seconds", ctx.data_gen_seconds);
+  w.kv("coarse_kmeans_seconds", ctx.build_stats.kmeans_seconds);
+  w.kv("coarse_assign_seconds", ctx.build_stats.assign_seconds);
+  w.kv("residual_seconds", ctx.build_stats.residual_seconds);
+  w.kv("pq_train_seconds", ctx.build_stats.pq_train_seconds);
+  w.kv("encode_seconds", ctx.build_stats.encode_seconds);
+  w.kv("workload_seconds", ctx.workload_seconds);
+  w.kv("stats_seconds", ctx.stats_seconds);
+  w.kv("engine_load_seconds", engine_load_seconds);
+  w.end_object();
+  w.end_object();
   write_stage(w, "single_host_overlap", single_overlap);
   write_stage(w, "single_host_serial", single_serial);
   write_stage(w, "multi_host_overlap", multi_overlap);

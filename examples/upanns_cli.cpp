@@ -69,6 +69,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/simd_dispatch.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "core/multihost.hpp"
@@ -147,6 +148,22 @@ double checked_real(const Args& a, const std::string& key, double dflt,
                      (allow_zero ? "non-negative" : "positive") + " number");
   }
   return v;
+}
+
+/// Like checked_real for count-valued flags: the whole token must parse as
+/// a base-10 integer >= `min` (strtoull's silent `abc -> 0` must not pick a
+/// thread count).
+std::size_t checked_count(const Args& a, const std::string& key,
+                          std::size_t dflt, std::size_t min = 1) {
+  const auto it = a.kv.find(key);
+  if (it == a.kv.end()) return dflt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || v < min) {
+    throw UsageError("--" + key + " must be an integer >= " +
+                     std::to_string(min));
+  }
+  return static_cast<std::size_t>(v);
 }
 
 data::DatasetFamily family_of(const std::string& name) {
@@ -298,11 +315,52 @@ int cmd_build(const Args& a) {
   opts.n_clusters = a.num("clusters", 128);
   opts.pq_m = a.num("m", ds.dim % 16 == 0 ? 16 : ds.dim % 12 == 0 ? 12 : 20);
   opts.seed = a.num("seed", 2024);
-  const ivf::IvfIndex index = ivf::IvfIndex::build(ds, opts);
+  // --build-threads 1 forces serial training; N > 1 pins a dedicated pool.
+  // Output is identical either way (DESIGN.md §13), so this is purely a
+  // resource knob.
+  opts.n_threads = checked_count(a, "build-threads", 0);
+  const double bf = checked_real(a, "batch-fraction", 1.0);
+  if (bf > 1.0) {
+    throw UsageError("--batch-fraction must be in (0, 1]");
+  }
+  opts.coarse_batch_fraction = bf;
+
+  const std::string trace_out = a.str("trace-out", "");
+  const std::string metrics_out = a.str("metrics-out", "");
+  const bool force = a.flag("force");
+  guard_outputs({trace_out, metrics_out}, force);
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) opts.metrics = &registry;
+
+  ivf::BuildStats bs;
+  const ivf::IvfIndex index = ivf::IvfIndex::build(ds, opts, &bs);
   const std::string out = a.str("out", "index.bin");
   index.save(out);
   std::printf("built IVF%zu,PQ%zu over %zu vectors -> %s\n",
               index.n_clusters(), index.pq_m(), index.n_points(), out.c_str());
+  std::printf(
+      "  build %.3fs (kmeans %.3f assign %.3f residual %.3f pq_train %.3f "
+      "encode %.3f) simd=%s\n",
+      bs.total_seconds, bs.kmeans_seconds, bs.assign_seconds,
+      bs.residual_seconds, bs.pq_train_seconds, bs.encode_seconds,
+      common::simd_level_name(common::simd_active_level()));
+
+  if (!trace_out.empty()) {
+    obs::write_text_file_guarded(trace_out,
+                                 obs::trace_json(obs::build_trace(bs)), force);
+    std::printf("wrote build trace to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter rw;
+    rw.begin_object();
+    rw.kv("n_clusters", static_cast<std::uint64_t>(index.n_clusters()));
+    rw.kv("pq_m", static_cast<std::uint64_t>(index.pq_m()));
+    rw.kv("n_points", static_cast<std::uint64_t>(index.n_points()));
+    rw.kv("total_seconds", bs.total_seconds);
+    rw.end_object();
+    write_metrics_json(metrics_out, "build", rw.take(), registry.snapshot(),
+                       force);
+  }
   return 0;
 }
 
@@ -880,6 +938,8 @@ int usage() {
                "usage: upanns_cli <gen|build|tune|search|serve|stats> [--key value ...]\n"
                "  gen    --family sift|deep|spacev --n N --out F.fvecs\n"
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
+               "         [--build-threads N] [--batch-fraction F]\n"
+               "         [--trace-out T.json] [--metrics-out M.json]\n"
                "  tune   --index I.bin --data F.fvecs --recall R --k K\n"
                "  search --index I.bin --data F.fvecs --nprobe P --queries Q\n"
                "         --system cpu|gpu|upanns|naive|multihost [--hosts N]\n"
@@ -895,7 +955,8 @@ int usage() {
                "  stats  --metrics M.json [--prom-out M.prom]\n"
                "         [--watch --interval-ms MS --iterations K]\n"
                "common: --log-level debug|info|warn|error (or UPANNS_LOG env);\n"
-               "        --force overwrites existing output files\n");
+               "        --simd scalar|sse2|avx2 pins kernel dispatch (or\n"
+               "        UPANNS_SIMD env); --force overwrites existing files\n");
   return 1;
 }
 
@@ -915,6 +976,15 @@ int main(int argc, char** argv) {
     }
   }
   try {
+    // --simd pins the kernel dispatch level for the whole run (build and
+    // serve paths alike); the UPANNS_SIMD env var is the non-CLI spelling.
+    if (const std::string simd = args.str("simd", ""); !simd.empty()) {
+      common::SimdLevel lvl;
+      if (!common::parse_simd_level(simd, &lvl)) {
+        throw UsageError("unknown --simd " + simd + " (scalar|sse2|avx2)");
+      }
+      common::set_simd_level(lvl);
+    }
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "build") return cmd_build(args);
     if (cmd == "tune") return cmd_tune(args);

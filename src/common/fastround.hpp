@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace upanns::common {
+
+/// Bit-exact std::round for a non-negative domain already clamped below
+/// INT32_MAX (the LUT quantizers clamp to 65535 first), without the libm
+/// roundf PLT call the baseline build would otherwise emit per entry.
+/// Truncation gives floor(x + 0.5f) for x >= 0; the compare backs out the
+/// one case where the x + 0.5f addition itself rounded up across an
+/// integer. Ties (x + 0.5 exactly integral) keep the floor result, which is
+/// round-half-away for positive x — identical to std::round.
+/// tests/test_simd.cpp pins equality over the full uint16 LUT range.
+inline float round_nonneg(float x) {
+  float r = static_cast<float>(static_cast<std::int32_t>(x + 0.5f));
+  if (r - 0.5f > x) r -= 1.f;
+  return r;
+}
+
+}  // namespace upanns::common

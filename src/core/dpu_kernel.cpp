@@ -6,8 +6,11 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/fastround.hpp"
+#include "common/simd_dispatch.hpp"
+
 #if defined(__SSE2__)
-#include <emmintrin.h>
+#include <immintrin.h>
 #endif
 
 namespace upanns::core {
@@ -239,6 +242,60 @@ inline void lut_block8_dsub8(const std::int8_t* entry, const float* res,
   max_lo = _mm_max_ps(max_lo, acc_lo);
   max_hi = _mm_max_ps(max_hi, acc_hi);
 }
+
+/// AVX2 variant of lut_block8_dsub8: the same 8x8 byte transpose, then one
+/// 8-lane float chain instead of two 4-lane halves. _mm256_cvtepi8_epi32
+/// sign-extends exactly like the unpack/srai pair, and mul/sub/add stay
+/// separate ops (no FMA contraction), so every lane runs the identical IEEE
+/// sequence — bit-exact against the SSE2 and scalar paths.
+__attribute__((target("avx2"))) inline void lut_block8_dsub8_avx2(
+    const std::int8_t* entry, const float* res, const __m256 scale_v,
+    float* out, __m256& max_v) {
+  const __m128i r01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry));
+  const __m128i r23 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 16));
+  const __m128i r45 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 32));
+  const __m128i r67 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(entry + 48));
+  const __m128i t0 = _mm_unpacklo_epi8(r01, _mm_srli_si128(r01, 8));
+  const __m128i t1 = _mm_unpacklo_epi8(r23, _mm_srli_si128(r23, 8));
+  const __m128i t2 = _mm_unpacklo_epi8(r45, _mm_srli_si128(r45, 8));
+  const __m128i t3 = _mm_unpacklo_epi8(r67, _mm_srli_si128(r67, 8));
+  const __m128i u0 = _mm_unpacklo_epi16(t0, t1);
+  const __m128i u1 = _mm_unpackhi_epi16(t0, t1);
+  const __m128i u2 = _mm_unpacklo_epi16(t2, t3);
+  const __m128i u3 = _mm_unpackhi_epi16(t2, t3);
+  const __m128i cols[4] = {
+      _mm_unpacklo_epi32(u0, u2), _mm_unpackhi_epi32(u0, u2),
+      _mm_unpacklo_epi32(u1, u3), _mm_unpackhi_epi32(u1, u3)};
+
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t d = 0; d < 8; ++d) {
+    const __m128i col8 = (d & 1) ? _mm_srli_si128(cols[d / 2], 8) : cols[d / 2];
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(col8));
+    const __m256 res_v = _mm256_set1_ps(res[d]);
+    const __m256 diff = _mm256_sub_ps(res_v, _mm256_mul_ps(scale_v, f));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  _mm256_storeu_ps(out, acc);
+  max_v = _mm256_max_ps(max_v, acc);
+}
+
+/// One full 256-entry LUT row at AVX2 (dsub == 8). Returns the row max.
+__attribute__((target("avx2"))) float lut_row_dsub8_avx2(
+    const std::int8_t* cb_seg, const float* res, float scale, float* lut_row) {
+  const __m256 scale_v = _mm256_set1_ps(scale);
+  __m256 mx = _mm256_setzero_ps();
+  for (std::size_t c = 0; c < 256; c += 8) {
+    lut_block8_dsub8_avx2(cb_seg + c * 8, res, scale_v, lut_row + c, mx);
+  }
+  alignas(32) float tmp[8];
+  _mm256_store_ps(tmp, mx);
+  float row_max = tmp[0];
+  for (std::size_t j = 1; j < 8; ++j) row_max = std::max(row_max, tmp[j]);
+  return row_max;
+}
 #endif  // __SSE2__
 
 }  // namespace
@@ -279,6 +336,7 @@ void QueryKernel::phase_lut_build(const Phase& p, pim::TaskletCtx& ctx) {
 #if defined(__SSE2__)
   __m128 max_lo = _mm_setzero_ps();
   __m128 max_hi = _mm_setzero_ps();
+  const common::SimdLevel simd = common::simd_active_level();
 #endif
   for (std::size_t s = ctx.id(); s < m; s += ctx.n_tasklets()) {
     const std::int8_t* cb_seg = ctx.mram_view_as<std::int8_t>(
@@ -288,11 +346,16 @@ void QueryKernel::phase_lut_build(const Phase& p, pim::TaskletCtx& ctx) {
     float* lut_row = scratch_.lut_f32.data() + s * 256;
     static_assert(256 % 8 == 0, "unroll factor must divide the code count");
 #if defined(__SSE2__)
-    if (dsub == 8) {
-      const __m128 scale_v = _mm_set1_ps(scale);
-      for (std::size_t c = 0; c < 256; c += 8) {
-        lut_block8_dsub8(cb_seg + c * 8, res, scale_v, lut_row + c, max_lo,
-                         max_hi);
+    if (dsub == 8 && simd != common::SimdLevel::kScalar) {
+      if (simd == common::SimdLevel::kAvx2) {
+        local_max =
+            std::max(local_max, lut_row_dsub8_avx2(cb_seg, res, scale, lut_row));
+      } else {
+        const __m128 scale_v = _mm_set1_ps(scale);
+        for (std::size_t c = 0; c < 256; c += 8) {
+          lut_block8_dsub8(cb_seg + c * 8, res, scale_v, lut_row + c, max_lo,
+                           max_hi);
+        }
       }
       ctx.instr(256 * (dsub * kInstrLutPerDim + kInstrLutPerEntry));
       continue;
@@ -335,23 +398,6 @@ void QueryKernel::phase_lut_reduce(pim::TaskletCtx& ctx) {
   ctx.instr(scratch_.tasklet_max.size() + 6);
 }
 
-namespace {
-
-/// Bit-exact std::round for the quantizer's domain (non-negative, clamped to
-/// 65535 before the call) without the libm roundf PLT call the baseline
-/// -march build would emit 4096 times per item. Truncation gives
-/// floor(x + 0.5f) for x >= 0; the compare backs out the one case where the
-/// x + 0.5f addition itself rounded up across an integer. Ties (x + 0.5
-/// exactly integral) keep the floor result, which is round-half-away for
-/// positive x — identical to std::round.
-inline float round_nonneg(float x) {
-  float r = static_cast<float>(static_cast<std::int32_t>(x + 0.5f));
-  if (r - 0.5f > x) r -= 1.f;
-  return r;
-}
-
-}  // namespace
-
 void QueryKernel::phase_lut_quantize(pim::TaskletCtx& ctx) {
   // Compact f32 -> u16 in place (front-to-back is safe); each tasklet takes
   // a contiguous slice. The widened token_table mirror is a host-side
@@ -366,7 +412,7 @@ void QueryKernel::phase_lut_quantize(pim::TaskletCtx& ctx) {
   std::uint16_t* lut_u16 = scratch_.lut_u16.data();
   std::uint32_t* tokens = scratch_.token_table.data();
   for (std::size_t i = lo; i < hi; ++i) {
-    const float q = round_nonneg(std::min(65535.f, lut_f32[i] * inv));
+    const float q = common::round_nonneg(std::min(65535.f, lut_f32[i] * inv));
     lut_u16[i] = static_cast<std::uint16_t>(q);
     tokens[i] = static_cast<std::uint32_t>(lut_u16[i]);
   }
@@ -396,6 +442,62 @@ void QueryKernel::phase_combo_sums(const Phase& p, pim::TaskletCtx& ctx) {
   }
   ctx.instr((hi - lo) * kInstrComboPerSlot);
 }
+
+namespace {
+
+#if defined(__SSE2__)
+/// AVX2 token scan: 8 u16 tokens widen to u32 lanes and gather their table
+/// entries. u32 addition wraps mod 2^32 in any order, so the lane-parallel
+/// sum is exactly the scalar loop's value — the serve path stays
+/// byte-identical across SIMD levels.
+__attribute__((target("avx2"))) std::uint32_t token_sum_avx2(
+    const std::uint32_t* table, const std::uint16_t* toks, std::size_t len) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m128i t16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(toks + t));
+    const __m256i idx = _mm256_cvtepu16_epi32(t16);
+    acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(
+                                    reinterpret_cast<const int*>(table), idx, 4));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  std::uint32_t sum = static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+  for (; t < len; ++t) sum += table[toks[t]];
+  return sum;
+}
+
+/// AVX2 raw-code scan: indices are pos*256 + code[pos] into the widened
+/// token table, whose first m*256 entries mirror the u16 LUT exactly.
+__attribute__((target("avx2"))) std::uint32_t raw_sum_avx2(
+    const std::uint32_t* table, const std::uint8_t* code, std::size_t m) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i lane_off =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  std::size_t pos = 0;
+  for (; pos + 8 <= m; pos += 8) {
+    const __m128i c8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + pos));
+    const __m256i idx = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_cvtepu8_epi32(c8), lane_off),
+        _mm256_set1_epi32(static_cast<int>(pos * 256)));
+    acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(
+                                    reinterpret_cast<const int*>(table), idx, 4));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  std::uint32_t sum = static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+  for (; pos < m; ++pos) sum += table[pos * 256 + code[pos]];
+  return sum;
+}
+#endif  // __SSE2__
+
+}  // namespace
 
 void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
   const DpuClusterData& cl = cluster_of(p.item);
@@ -446,6 +548,10 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
   const std::uint16_t* lut = scratch_.lut_u16.data();
   const std::uint32_t* token_table = scratch_.token_table.data();
   const float dist_scale = lut_scale_;
+#if defined(__SSE2__)
+  const bool use_avx2 =
+      common::simd_active_level() == common::SimdLevel::kAvx2;
+#endif
 
   std::uint64_t scanned_elems = 0;
   std::uint64_t scanned_recs = 0;
@@ -501,8 +607,15 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
       std::uint32_t acc = 0;
       if (raw) {
         const std::uint8_t* code = chunk_stream + r * m;
-        for (std::size_t pos = 0; pos < m; ++pos) {
-          acc += lut[pos * 256 + code[pos]];
+#if defined(__SSE2__)
+        if (use_avx2) {
+          acc = raw_sum_avx2(token_table, code, m);
+        } else
+#endif
+        {
+          for (std::size_t pos = 0; pos < m; ++pos) {
+            acc += lut[pos * 256 + code[pos]];
+          }
         }
         chunk_elems += m;
       } else {
@@ -510,8 +623,15 @@ void QueryKernel::phase_distance(const Phase& p, pim::TaskletCtx& ctx) {
         // land in adjacent halves of token_table, exactly like the direct
         // WRAM addresses they model — no per-token range branch.
         const std::uint16_t len = tokens[cursor++];
-        for (std::uint16_t t = 0; t < len; ++t) {
-          acc += token_table[tokens[cursor + t]];
+#if defined(__SSE2__)
+        if (use_avx2) {
+          acc = token_sum_avx2(token_table, tokens + cursor, len);
+        } else
+#endif
+        {
+          for (std::uint16_t t = 0; t < len; ++t) {
+            acc += token_table[tokens[cursor + t]];
+          }
         }
         cursor += len;
         chunk_elems += len;

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fastround.hpp"
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 
@@ -47,8 +48,11 @@ UpAnnsEngine::UpAnnsEngine(const ivf::IvfIndex& index,
     const float scale = mx > 0.f ? mx / 127.f : 1.f;
     codebook_scales_[s] = scale;
     for (std::size_t i = 0; i < 256 * dsub; ++i) {
+      // round_nonneg on |r| == lround's round-half-away-from-zero here
+      // (|r| <= 127 by the scale construction), minus the libm call.
+      const float r = cb[s * 256 * dsub + i] / scale;
       codebook_q_[s * 256 * dsub + i] = static_cast<std::int8_t>(
-          std::lround(cb[s * 256 * dsub + i] / scale));
+          r < 0.f ? -common::round_nonneg(-r) : common::round_nonneg(r));
     }
   }
 

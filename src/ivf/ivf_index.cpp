@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "common/thread_pool.hpp"
 #include "common/topk.hpp"
+#include "obs/metrics.hpp"
 #include "quant/kmeans.hpp"
 
 namespace upanns::ivf {
@@ -33,7 +36,8 @@ IvfIndex& IvfIndex::operator=(const IvfIndex& other) {
   return *this;
 }
 
-IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts) {
+IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts,
+                         BuildStats* stats) {
   if (base.empty()) throw std::invalid_argument("IvfIndex: empty dataset");
   if (opts.pq_m == 0 || base.dim % opts.pq_m != 0) {
     throw std::invalid_argument("IvfIndex: dim must be divisible by pq_m");
@@ -42,17 +46,42 @@ IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts)
   idx.dim_ = base.dim;
   idx.n_points_ = base.n;
 
+  const auto t_start = std::chrono::steady_clock::now();
+  auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // --build-threads N > 1 pins training to a dedicated pool; 0/1 use the
+  // global pool / run serial. Identical output either way.
+  std::unique_ptr<common::ThreadPool> own_pool;
+  common::ThreadPool* pool = nullptr;
+  if (opts.n_threads > 1 &&
+      opts.n_threads != common::ThreadPool::global().size()) {
+    own_pool = std::make_unique<common::ThreadPool>(opts.n_threads);
+    pool = own_pool.get();
+  }
+
   // 1. Coarse quantizer.
   quant::KMeansOptions ko;
   ko.n_clusters = opts.n_clusters;
   ko.max_iters = opts.coarse_iters;
   ko.seed = opts.seed;
   ko.max_training_points = opts.coarse_train_points;
+  ko.batch_fraction = opts.coarse_batch_fraction;
+  ko.use_threads = opts.n_threads != 1;
+  ko.n_threads = opts.n_threads;
+  ko.pool = pool;
   quant::KMeansResult coarse = quant::kmeans(base.span(), base.n, base.dim, ko);
   idx.n_clusters_ = coarse.n_clusters;
   idx.centroids_ = std::move(coarse.centroids);
 
+  BuildStats bs;
+  bs.kmeans_seconds = coarse.train_seconds;
+  bs.assign_seconds = coarse.assign_seconds;
+
   // 2. Residuals for PQ training (subsampled implicitly by PQ options).
+  const auto t_residual = std::chrono::steady_clock::now();
   std::vector<float> residuals(base.n * base.dim);
   common::ThreadPool::global().parallel_for(
       0, base.n,
@@ -63,15 +92,22 @@ IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts)
         for (std::size_t d = 0; d < base.dim; ++d) r[d] = p[d] - c[d];
       },
       512);
+  bs.residual_seconds = seconds_since(t_residual);
 
+  const auto t_pq = std::chrono::steady_clock::now();
   quant::PqOptions po;
   po.m = opts.pq_m;
   po.train_iters = opts.pq_iters;
   po.seed = opts.seed + 1;
   po.max_training_points = opts.pq_train_points;
+  po.use_threads = opts.n_threads != 1;
+  po.n_threads = opts.n_threads;
+  po.pool = pool;
   idx.pq_.train(residuals, base.n, base.dim, po);
+  bs.pq_train_seconds = seconds_since(t_pq);
 
   // 3. Encode everything and fill inverted lists.
+  const auto t_encode = std::chrono::steady_clock::now();
   std::vector<std::uint8_t> codes(base.n * opts.pq_m);
   idx.pq_.encode_batch(residuals, base.n, codes.data());
 
@@ -86,6 +122,19 @@ IvfIndex IvfIndex::build(const data::Dataset& base, const IvfBuildOptions& opts)
     const std::uint8_t* code = codes.data() + i * opts.pq_m;
     list.codes.insert(list.codes.end(), code, code + opts.pq_m);
   }
+  bs.encode_seconds = seconds_since(t_encode);
+  bs.total_seconds = seconds_since(t_start);
+
+  if (opts.metrics) {
+    obs::MetricsRegistry& reg = *opts.metrics;
+    reg.gauge("build.kmeans_seconds").set(bs.kmeans_seconds);
+    reg.gauge("build.assign_seconds").set(bs.assign_seconds);
+    reg.gauge("build.residual_seconds").set(bs.residual_seconds);
+    reg.gauge("build.pq_train_seconds").set(bs.pq_train_seconds);
+    reg.gauge("build.encode_seconds").set(bs.encode_seconds);
+    reg.gauge("build.total_seconds").set(bs.total_seconds);
+  }
+  if (stats) *stats = bs;
   return idx;
 }
 

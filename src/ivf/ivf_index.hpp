@@ -21,6 +21,10 @@
 #include "data/dataset.hpp"
 #include "quant/pq.hpp"
 
+namespace upanns::obs {
+class MetricsRegistry;
+}
+
 namespace upanns::ivf {
 
 struct IvfBuildOptions {
@@ -32,6 +36,25 @@ struct IvfBuildOptions {
   /// Training subsample caps (0 = use all points).
   std::size_t coarse_train_points = 65536;
   std::size_t pq_train_points = 65536;
+  /// Build-phase worker threads: 0 = the global pool, 1 = serial, N > 1 runs
+  /// training on a dedicated N-thread pool. Output is identical for every
+  /// value (fixed-chunk reductions; see DESIGN.md §13).
+  std::size_t n_threads = 0;
+  /// Mini-batch fraction for the coarse k-means (1.0 = full-batch Lloyd).
+  double coarse_batch_fraction = 1.0;
+  /// When set, build() books the build.* gauges here.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Wall-clock breakdown of one build() call, mirrored into the build.*
+/// metrics and the `build` trace lane.
+struct BuildStats {
+  double kmeans_seconds = 0.0;    ///< coarse k-means++ seeding + iterations
+  double assign_seconds = 0.0;    ///< coarse full-dataset labeling
+  double residual_seconds = 0.0;  ///< residual materialization
+  double pq_train_seconds = 0.0;  ///< PQ codebook training (m subspaces)
+  double encode_seconds = 0.0;    ///< PQ encode + inverted-list fill
+  double total_seconds = 0.0;
 };
 
 /// One inverted list: original vector ids plus their PQ codes (size x m).
@@ -75,7 +98,8 @@ class IvfIndex {
   IvfIndex& operator=(IvfIndex&&) = default;
 
   /// Build from a dataset. Throws on invalid options.
-  static IvfIndex build(const data::Dataset& base, const IvfBuildOptions& opts);
+  static IvfIndex build(const data::Dataset& base, const IvfBuildOptions& opts,
+                        BuildStats* stats = nullptr);
 
   /// An empty index sharing another's frozen quantizers (centroids + PQ):
   /// the substrate for rebuild-equivalence parity checks — insert the

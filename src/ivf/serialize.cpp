@@ -85,6 +85,7 @@ ProductQuantizer ProductQuantizer::load_from(std::istream& is) {
   if (pq.codebooks_.size() != pq.m_ * kPqKsub * pq.dsub_) {
     throw std::runtime_error("ProductQuantizer::load_from: bad codebooks");
   }
+  pq.rebuild_transposed();
   return pq;
 }
 

@@ -248,6 +248,22 @@ void write_multihost_trace_file(const std::string& path,
   write_text_file(path, trace_json(multihost_trace(report)));
 }
 
+PipelineTrace build_trace(const ivf::BuildStats& stats) {
+  PipelineTrace t;
+  t.lanes.emplace_back(0, "build");
+  double cursor = 0;
+  const auto slice = [&](const char* name, double seconds) {
+    t.slices.push_back({name, "build", 0, cursor, seconds, 0});
+    cursor += seconds;
+  };
+  slice("coarse-kmeans", stats.kmeans_seconds);
+  slice("coarse-assign", stats.assign_seconds);
+  slice("residual", stats.residual_seconds);
+  slice("pq-train", stats.pq_train_seconds);
+  slice("encode", stats.encode_seconds);
+  return t;
+}
+
 void write_text_file(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) throw std::runtime_error("cannot open " + path + " for writing");

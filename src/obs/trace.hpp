@@ -33,6 +33,7 @@
 
 #include "core/multihost.hpp"
 #include "core/pipeline.hpp"
+#include "ivf/ivf_index.hpp"
 
 namespace upanns::obs {
 
@@ -94,6 +95,14 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report);
 /// multihost_trace + trace_json + write to `path`.
 void write_multihost_trace_file(const std::string& path,
                                 const core::MultiHostPipelineReport& report);
+
+/// One-lane wall-clock trace of the offline build phase: the BuildStats
+/// substages (coarse-kmeans, coarse-assign, residual, pq-train, encode)
+/// laid back to back on a single "build" lane, so `upanns_cli build
+/// --trace-out` shows where the build wall went in the same viewer as the
+/// serve traces. Unlike the serve lanes these are host wall-clock seconds,
+/// not simulated time.
+PipelineTrace build_trace(const ivf::BuildStats& stats);
 
 /// Write `content` to `path` (throws std::runtime_error on failure).
 void write_text_file(const std::string& path, const std::string& content);

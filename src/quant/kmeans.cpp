@@ -2,20 +2,147 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <future>
 #include <limits>
 
+#include "common/simd_dispatch.hpp"
 #include "common/thread_pool.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define UPANNS_X86 1
+#endif
 
 namespace upanns::quant {
 
-float l2_sq(const float* a, const float* b, std::size_t dim) {
-  float acc = 0.f;
-  for (std::size_t i = 0; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
+namespace {
+
+/// The fixed combine tree shared by every kernel: chains are pairwise
+/// reduced in one order so scalar/SSE2/AVX2 stay bit-identical.
+inline float combine8(const float* ch) {
+  return ((ch[0] + ch[1]) + (ch[2] + ch[3])) +
+         ((ch[4] + ch[5]) + (ch[6] + ch[7]));
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+namespace detail {
+
+float l2_sq_scalar(const float* a, const float* b, std::size_t dim) {
+  float ch[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  const std::size_t full = dim & ~std::size_t{7};
+  std::size_t i = 0;
+  for (; i < full; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const float d = a[i + j] - b[i + j];
+      ch[j] += d * d;
+    }
   }
-  return acc;
+  for (std::size_t j = 0; i < dim; ++i, ++j) {
+    const float d = a[i] - b[i];
+    ch[j] += d * d;
+  }
+  return combine8(ch);
+}
+
+#if defined(UPANNS_X86)
+
+float l2_sq_sse2(const float* a, const float* b, std::size_t dim) {
+  __m128 lo = _mm_setzero_ps();  // chains 0..3
+  __m128 hi = _mm_setzero_ps();  // chains 4..7
+  const std::size_t full = dim & ~std::size_t{7};
+  std::size_t i = 0;
+  for (; i < full; i += 8) {
+    const __m128 d0 = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 d1 =
+        _mm_sub_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4));
+    lo = _mm_add_ps(lo, _mm_mul_ps(d0, d0));
+    hi = _mm_add_ps(hi, _mm_mul_ps(d1, d1));
+  }
+  alignas(16) float ch[8];
+  _mm_store_ps(ch, lo);
+  _mm_store_ps(ch + 4, hi);
+  for (std::size_t j = 0; i < dim; ++i, ++j) {
+    const float d = a[i] - b[i];
+    ch[j] += d * d;
+  }
+  return combine8(ch);
+}
+
+__attribute__((target("avx2"))) float l2_sq_avx2(const float* a, const float* b,
+                                                 std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::size_t full = dim & ~std::size_t{7};
+  std::size_t i = 0;
+  for (; i < full; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  alignas(32) float ch[8];
+  _mm256_store_ps(ch, acc);
+  for (std::size_t j = 0; i < dim; ++i, ++j) {
+    const float d = a[i] - b[i];
+    ch[j] += d * d;
+  }
+  return combine8(ch);
+}
+
+#else  // !UPANNS_X86
+
+float l2_sq_sse2(const float* a, const float* b, std::size_t dim) {
+  return l2_sq_scalar(a, b, dim);
+}
+float l2_sq_avx2(const float* a, const float* b, std::size_t dim) {
+  return l2_sq_scalar(a, b, dim);
+}
+
+#endif
+
+void run_indexed(common::ThreadPool* pool, bool threaded, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (!threaded || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>([&fn, i] { fn(i); });
+    futs.push_back(task->get_future());
+    pool->submit([task] { (*task)(); });
+  }
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace detail
+
+float l2_sq(const float* a, const float* b, std::size_t dim) {
+  switch (common::simd_active_level()) {
+    case common::SimdLevel::kAvx2: return detail::l2_sq_avx2(a, b, dim);
+    case common::SimdLevel::kSse2: return detail::l2_sq_sse2(a, b, dim);
+    case common::SimdLevel::kScalar: break;
+  }
+  return detail::l2_sq_scalar(a, b, dim);
 }
 
 std::pair<std::uint32_t, float> nearest_centroid(const float* point,
@@ -34,37 +161,206 @@ std::pair<std::uint32_t, float> nearest_centroid(const float* point,
   return {best, best_d};
 }
 
+void transpose_centroids(const float* centroids, std::size_t k,
+                         std::size_t dim, std::vector<float>& out) {
+  const std::size_t k_pad = pad8(k);
+  out.assign(dim * k_pad, 0.f);
+  for (std::size_t c = 0; c < k; ++c) {
+    const float* row = centroids + c * dim;
+    for (std::size_t d = 0; d < dim; ++d) out[d * k_pad + c] = row[d];
+  }
+}
+
 namespace {
 
+// ---------------------------------------------------------------------------
+// Blocked distance kernels over the transposed (dimension-major) layout.
+// Lanes are centroids; each lane accumulates the same 8-chain / fixed-tree
+// sequence as l2_sq, so per-centroid distances are bit-identical to the
+// row-major path at every SIMD level.
+
+void dists_t_scalar(const float* p, const float* t, std::size_t k,
+                    std::size_t k_pad, std::size_t dim, float* out) {
+  for (std::size_t c = 0; c < k; ++c) {
+    const float* col = t + c;
+    float ch[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float x = p[d] - col[d * k_pad];
+      ch[d & 7] += x * x;
+    }
+    out[c] = combine8(ch);
+  }
+}
+
+#if defined(UPANNS_X86)
+
+/// SSE2: four centroid lanes per block, eight chain accumulators.
+void dists_t_sse2(const float* p, const float* t, std::size_t k,
+                  std::size_t k_pad, std::size_t dim, float* out) {
+  alignas(16) float buf[4];
+  for (std::size_t c0 = 0; c0 < k; c0 += 4) {
+    __m128 acc[8];
+    for (auto& a : acc) a = _mm_setzero_ps();
+    const float* col = t + c0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m128 pv = _mm_set1_ps(p[d]);
+      const __m128 cv = _mm_loadu_ps(col + d * k_pad);
+      const __m128 diff = _mm_sub_ps(pv, cv);
+      acc[d & 7] = _mm_add_ps(acc[d & 7], _mm_mul_ps(diff, diff));
+    }
+    const __m128 t0123 = _mm_add_ps(_mm_add_ps(acc[0], acc[1]),
+                                    _mm_add_ps(acc[2], acc[3]));
+    const __m128 t4567 = _mm_add_ps(_mm_add_ps(acc[4], acc[5]),
+                                    _mm_add_ps(acc[6], acc[7]));
+    const __m128 total = _mm_add_ps(t0123, t4567);
+    if (c0 + 4 <= k) {
+      _mm_storeu_ps(out + c0, total);
+    } else {
+      _mm_store_ps(buf, total);
+      for (std::size_t j = 0; c0 + j < k; ++j) out[c0 + j] = buf[j];
+    }
+  }
+}
+
+/// AVX2: eight centroid lanes per block, eight chain accumulators.
+__attribute__((target("avx2"))) void dists_t_avx2(const float* p,
+                                                  const float* t, std::size_t k,
+                                                  std::size_t k_pad,
+                                                  std::size_t dim, float* out) {
+  alignas(32) float buf[8];
+  for (std::size_t c0 = 0; c0 < k; c0 += 8) {
+    __m256 acc[8];
+    for (auto& a : acc) a = _mm256_setzero_ps();
+    const float* col = t + c0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256 pv = _mm256_set1_ps(p[d]);
+      const __m256 cv = _mm256_loadu_ps(col + d * k_pad);
+      const __m256 diff = _mm256_sub_ps(pv, cv);
+      acc[d & 7] = _mm256_add_ps(acc[d & 7], _mm256_mul_ps(diff, diff));
+    }
+    const __m256 t0123 = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]),
+                                       _mm256_add_ps(acc[2], acc[3]));
+    const __m256 t4567 = _mm256_add_ps(_mm256_add_ps(acc[4], acc[5]),
+                                       _mm256_add_ps(acc[6], acc[7]));
+    const __m256 total = _mm256_add_ps(t0123, t4567);
+    if (c0 + 8 <= k) {
+      _mm256_storeu_ps(out + c0, total);
+    } else {
+      _mm256_store_ps(buf, total);
+      for (std::size_t j = 0; c0 + j < k; ++j) out[c0 + j] = buf[j];
+    }
+  }
+}
+
+#endif  // UPANNS_X86
+
+}  // namespace
+
+void squared_dists_t(const float* point, const float* tctr, std::size_t k,
+                     std::size_t k_pad, std::size_t dim, float* out) {
+  // k_pad is the lane stride of the transposed layout; callers may scan a
+  // sub-window (k < k_pad) as long as full 8-lane blocks stay in bounds.
+  assert(k_pad % 8 == 0 && k_pad >= k);
+#if defined(UPANNS_X86)
+  switch (common::simd_active_level()) {
+    case common::SimdLevel::kAvx2:
+      return dists_t_avx2(point, tctr, k, k_pad, dim, out);
+    case common::SimdLevel::kSse2:
+      return dists_t_sse2(point, tctr, k, k_pad, dim, out);
+    case common::SimdLevel::kScalar: break;
+  }
+#endif
+  dists_t_scalar(point, tctr, k, k_pad, dim, out);
+}
+
+std::pair<std::uint32_t, float> nearest_centroid_t(const float* point,
+                                                   const float* tctr,
+                                                   std::size_t k,
+                                                   std::size_t k_pad,
+                                                   std::size_t dim) {
+  // Selection walks distances in index order with a strict-less compare, so
+  // ties break to the lowest index — identical to nearest_centroid. Scanning
+  // a small stack buffer per 64-lane stripe keeps the working set in L1.
+  float stripe[64];
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::size_t c0 = 0; c0 < k; c0 += 64) {
+    const std::size_t span = std::min<std::size_t>(64, k - c0);
+    squared_dists_t(point, tctr + c0, span, k_pad, dim, stripe);
+    for (std::size_t j = 0; j < span; ++j) {
+      if (stripe[j] < best_d) {
+        best_d = stripe[j];
+        best = static_cast<std::uint32_t>(c0 + j);
+      }
+    }
+  }
+  return {best, best_d};
+}
+
+namespace {
+
+/// Fixed reduction chunk: boundaries depend only on n, never on the pool
+/// size, so chunk partial sums (merged in chunk order) give bit-identical
+/// results for any thread count — serial included.
+constexpr std::size_t kReduceChunk = 4096;
+
+std::size_t chunk_count(std::size_t n) {
+  return n == 0 ? 0 : (n - 1) / kReduceChunk + 1;
+}
+
 // k-means++ seeding: spread initial centroids proportional to squared
-// distance from already-chosen seeds.
+// distance from already-chosen seeds. The per-seed O(n·dim) sweep runs
+// chunked over the pool; the weighted pick first scans chunk sums, then
+// replays the chosen chunk's additions in the same order, so the selection
+// is exact and thread-count independent.
 std::vector<float> seed_plus_plus(std::span<const float> data, std::size_t n,
                                   std::size_t dim, std::size_t k,
-                                  common::Rng& rng) {
+                                  common::Rng& rng, common::ThreadPool* pool,
+                                  bool threaded) {
   std::vector<float> centroids(k * dim);
   std::vector<float> min_d(n, std::numeric_limits<float>::infinity());
+  const std::size_t n_chunks = chunk_count(n);
+  std::vector<double> chunk_sum(n_chunks);
 
   std::size_t first = rng.below(n);
   std::copy_n(data.data() + first * dim, dim, centroids.begin());
 
   for (std::size_t c = 1; c < k; ++c) {
     const float* last = centroids.data() + (c - 1) * dim;
+    detail::run_indexed(pool, threaded, n_chunks, [&](std::size_t ci) {
+      const std::size_t lo = ci * kReduceChunk;
+      const std::size_t hi = std::min(n, lo + kReduceChunk);
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float d = l2_sq(data.data() + i * dim, last, dim);
+        min_d[i] = std::min(min_d[i], d);
+        s += min_d[i];
+      }
+      chunk_sum[ci] = s;
+    });
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float d = l2_sq(data.data() + i * dim, last, dim);
-      min_d[i] = std::min(min_d[i], d);
-      total += min_d[i];
-    }
-    std::size_t chosen = 0;
+    for (double s : chunk_sum) total += s;
+
+    std::size_t chosen;
     if (total > 0) {
-      double target = rng.uniform() * total;
+      const double target = rng.uniform() * total;
+      chosen = n - 1;
       double acc = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        acc += min_d[i];
-        if (acc >= target) {
-          chosen = i;
+      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+        if (acc + chunk_sum[ci] >= target) {
+          const std::size_t lo = ci * kReduceChunk;
+          const std::size_t hi = std::min(n, lo + kReduceChunk);
+          chosen = hi - 1;  // rounding fallback; the loop below normally hits
+          for (std::size_t i = lo; i < hi; ++i) {
+            acc += min_d[i];
+            if (acc >= target) {
+              chosen = i;
+              break;
+            }
+          }
           break;
         }
+        acc += chunk_sum[ci];
       }
     } else {
       chosen = rng.below(n);
@@ -82,9 +378,12 @@ std::vector<std::uint32_t> assign_labels(std::span<const float> data,
                                          std::size_t n_clusters,
                                          bool use_threads) {
   std::vector<std::uint32_t> labels(n);
+  std::vector<float> tctr;
+  transpose_centroids(centroids.data(), n_clusters, dim, tctr);
+  const std::size_t k_pad = pad8(n_clusters);
   auto body = [&](std::size_t i) {
-    labels[i] = nearest_centroid(data.data() + i * dim, centroids.data(),
-                                 n_clusters, dim)
+    labels[i] = nearest_centroid_t(data.data() + i * dim, tctr.data(),
+                                   n_clusters, k_pad, dim)
                     .first;
   };
   if (use_threads) {
@@ -99,8 +398,14 @@ KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
                     const KMeansOptions& opts) {
   assert(n > 0 && dim > 0 && opts.n_clusters > 0);
   assert(data.size() >= n * dim);
+  const double t_start = now_seconds();
   const std::size_t k = std::min(opts.n_clusters, n);
   common::Rng rng(opts.seed);
+
+  common::ThreadPool* pool = opts.pool ? opts.pool : &common::ThreadPool::global();
+  const std::size_t eff_threads =
+      opts.use_threads ? (opts.n_threads ? opts.n_threads : pool->size()) : 1;
+  const bool threaded = eff_threads > 1;
 
   // Optional subsampling keeps training tractable for large synthetic sets.
   std::vector<float> sample_storage;
@@ -120,52 +425,125 @@ KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
   KMeansResult result;
   result.dim = dim;
   result.n_clusters = k;
-  result.centroids = seed_plus_plus(train, n_train, dim, k, rng);
+  result.centroids =
+      seed_plus_plus(train, n_train, dim, k, rng, pool, threaded);
+  const std::size_t k_pad = pad8(k);
 
-  std::vector<std::uint32_t> labels(n_train, 0);
-  std::vector<double> acc(k * dim);
-  std::vector<std::uint32_t> counts(k);
+  // Mini-batch mode: each iteration samples ceil(f * n_train) points with
+  // replacement (sampled on this thread so the rng stream is identical for
+  // every thread count) and applies Sculley per-center learning rates.
+  const bool mini_batch = opts.batch_fraction > 0.0 && opts.batch_fraction < 1.0;
+  const std::size_t n_batch =
+      mini_batch ? std::max<std::size_t>(
+                       k, static_cast<std::size_t>(
+                              std::ceil(opts.batch_fraction *
+                                        static_cast<double>(n_train))))
+                 : n_train;
+  const std::size_t n_iter_pts = n_batch;
+
+  // Scratch hoisted out of the iteration loop and reused throughout.
+  const std::size_t n_chunks = chunk_count(n_iter_pts);
+  std::vector<std::uint32_t> labels(n_iter_pts, 0);
+  std::vector<float> dists(n_iter_pts);
+  std::vector<std::uint32_t> sample_idx(mini_batch ? n_iter_pts : 0);
+  std::vector<double> chunk_inertia(n_chunks);
+  std::vector<float> tctr;
+  std::vector<double> acc;
+  std::vector<std::uint32_t> counts;
+  std::vector<double> chunk_acc;
+  std::vector<std::uint32_t> chunk_counts;
+  if (!mini_batch) {
+    acc.resize(k * dim);
+    counts.resize(k);
+    chunk_acc.resize(n_chunks * k * dim);
+    chunk_counts.resize(n_chunks * k);
+  }
+  std::vector<std::uint64_t> center_count(mini_batch ? k : 0, 0);
+
   double prev_inertia = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step (parallel over points).
-    std::vector<float> dists(n_train);
-    auto assign_body = [&](std::size_t i) {
-      auto [c, d] = nearest_centroid(train.data() + i * dim,
-                                     result.centroids.data(), k, dim);
-      labels[i] = c;
-      dists[i] = d;
-    };
-    if (opts.use_threads) {
-      common::ThreadPool::global().parallel_for(0, n_train, assign_body, 256);
-    } else {
-      for (std::size_t i = 0; i < n_train; ++i) assign_body(i);
-    }
-    double inertia = 0.0;
-    for (float d : dists) inertia += d;
+    transpose_centroids(result.centroids.data(), k, dim, tctr);
 
-    // Update step.
-    std::fill(acc.begin(), acc.end(), 0.0);
-    std::fill(counts.begin(), counts.end(), 0u);
-    for (std::size_t i = 0; i < n_train; ++i) {
-      const std::uint32_t c = labels[i];
-      ++counts[c];
-      const float* p = train.data() + i * dim;
-      double* a = acc.data() + static_cast<std::size_t>(c) * dim;
-      for (std::size_t d = 0; d < dim; ++d) a[d] += p[d];
-    }
-    for (std::size_t c = 0; c < k; ++c) {
-      if (counts[c] == 0) {
-        // Re-seed empty cluster from a random point to keep k populated.
-        const std::size_t pick = rng.below(n_train);
-        std::copy_n(train.data() + pick * dim, dim,
-                    result.centroids.begin() + c * dim);
-        continue;
+    if (mini_batch) {
+      for (std::size_t j = 0; j < n_iter_pts; ++j) {
+        sample_idx[j] = static_cast<std::uint32_t>(rng.below(n_train));
       }
-      float* ctr = result.centroids.data() + c * dim;
-      for (std::size_t d = 0; d < dim; ++d) {
-        ctr[d] = static_cast<float>(acc[c * dim + d] / counts[c]);
+    }
+
+    // Assignment step, chunked over the pool. Each chunk writes its own
+    // slice of labels/dists and a private inertia partial (and, for the
+    // full-batch update, private per-cluster sums) — merged afterwards in
+    // fixed chunk order for run-to-run determinism.
+    detail::run_indexed(pool, threaded, n_chunks, [&](std::size_t ci) {
+      const std::size_t lo = ci * kReduceChunk;
+      const std::size_t hi = std::min(n_iter_pts, lo + kReduceChunk);
+      double inertia_part = 0.0;
+      double* acc_part = mini_batch ? nullptr : chunk_acc.data() + ci * k * dim;
+      std::uint32_t* cnt_part =
+          mini_batch ? nullptr : chunk_counts.data() + ci * k;
+      if (!mini_batch) {
+        std::fill_n(acc_part, k * dim, 0.0);
+        std::fill_n(cnt_part, k, 0u);
+      }
+      for (std::size_t j = lo; j < hi; ++j) {
+        const std::size_t i = mini_batch ? sample_idx[j] : j;
+        const float* p = train.data() + i * dim;
+        auto [c, d] = nearest_centroid_t(p, tctr.data(), k, k_pad, dim);
+        labels[j] = c;
+        dists[j] = d;
+        inertia_part += d;
+        if (!mini_batch) {
+          ++cnt_part[c];
+          double* a = acc_part + static_cast<std::size_t>(c) * dim;
+          for (std::size_t dd = 0; dd < dim; ++dd) a[dd] += p[dd];
+        }
+      }
+      chunk_inertia[ci] = inertia_part;
+    });
+
+    double inertia = 0.0;
+    for (double v : chunk_inertia) inertia += v;
+
+    if (mini_batch) {
+      // Sculley update, applied in sample order on this thread: with
+      // per-center counts n_c, centroid += (x - centroid) / n_c. The
+      // assignment above is the parallel part; this pass is O(batch * dim).
+      for (std::size_t j = 0; j < n_iter_pts; ++j) {
+        const std::uint32_t c = labels[j];
+        ++center_count[c];
+        const float eta = 1.f / static_cast<float>(center_count[c]);
+        float* ctr = result.centroids.data() + static_cast<std::size_t>(c) * dim;
+        const float* x =
+            train.data() + static_cast<std::size_t>(sample_idx[j]) * dim;
+        for (std::size_t d = 0; d < dim; ++d) ctr[d] += eta * (x[d] - ctr[d]);
+      }
+      // Scale the batch inertia to the full set so result.inertia is
+      // comparable with the full-batch value.
+      inertia *= static_cast<double>(n_train) / static_cast<double>(n_iter_pts);
+    } else {
+      // Merge chunk partials in chunk order, then recompute centroids.
+      std::fill(acc.begin(), acc.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0u);
+      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+        const double* acc_part = chunk_acc.data() + ci * k * dim;
+        const std::uint32_t* cnt_part = chunk_counts.data() + ci * k;
+        for (std::size_t x = 0; x < k * dim; ++x) acc[x] += acc_part[x];
+        for (std::size_t c = 0; c < k; ++c) counts[c] += cnt_part[c];
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) {
+          // Re-seed empty cluster from a random point to keep k populated.
+          const std::size_t pick = rng.below(n_train);
+          std::copy_n(train.data() + pick * dim, dim,
+                      result.centroids.begin() + c * dim);
+          continue;
+        }
+        float* ctr = result.centroids.data() + c * dim;
+        for (std::size_t d = 0; d < dim; ++d) {
+          ctr[d] = static_cast<float>(acc[c * dim + d] / counts[c]);
+        }
       }
     }
 
@@ -177,12 +555,25 @@ KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
     }
     prev_inertia = inertia;
   }
+  result.train_seconds = now_seconds() - t_start;
 
-  // Final labels/sizes for the *full* dataset (not the training subsample).
-  result.labels =
-      assign_labels(data, n, dim, result.centroids, k, opts.use_threads);
+  // Final labels/sizes for the *full* dataset (not the training subsample),
+  // over the same transposed kernel and fixed chunk grid.
+  const double t_assign = now_seconds();
+  transpose_centroids(result.centroids.data(), k, dim, tctr);
+  result.labels.resize(n);
+  detail::run_indexed(pool, threaded, chunk_count(n), [&](std::size_t ci) {
+    const std::size_t lo = ci * kReduceChunk;
+    const std::size_t hi = std::min(n, lo + kReduceChunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      result.labels[i] = nearest_centroid_t(data.data() + i * dim, tctr.data(),
+                                            k, k_pad, dim)
+                             .first;
+    }
+  });
   result.sizes.assign(k, 0);
   for (auto l : result.labels) ++result.sizes[l];
+  result.assign_seconds = now_seconds() - t_assign;
   return result;
 }
 

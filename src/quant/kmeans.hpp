@@ -1,12 +1,25 @@
 // Lloyd's k-means with k-means++ seeding. This is the training substrate for
 // both levels of IVFPQ: the coarse (IVF) quantizer and each PQ sub-quantizer.
+//
+// The distance kernels here define the one squared-L2 semantics every SIMD
+// level implements identically (see DESIGN.md §13): each vector is summed
+// over eight independent accumulation chains (chain j takes elements with
+// index ≡ j mod 8, in increasing order) which are combined with the fixed
+// tree ((c0+c1)+(c2+c3)) + ((c4+c5)+(c6+c7)). Scalar, SSE2 and AVX2 all
+// perform that exact IEEE op sequence — no FMA contraction — so results are
+// bit-identical across levels and across the row-major / transposed paths.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/rng.hpp"
+
+namespace upanns::common {
+class ThreadPool;
+}
 
 namespace upanns::quant {
 
@@ -15,9 +28,19 @@ struct KMeansOptions {
   std::size_t max_iters = 15;
   double tolerance = 1e-4;       ///< stop when relative inertia change < tol
   std::uint64_t seed = 42;
-  bool use_threads = true;       ///< parallel assignment via the global pool
+  bool use_threads = true;       ///< parallel assignment/update via the pool
   /// Subsample the training set to at most this many points (0 = no limit).
   std::size_t max_training_points = 0;
+  /// Mini-batch fraction in (0, 1]: each iteration trains on a fresh sample
+  /// of ceil(batch_fraction * n_train) points (with replacement, Sculley
+  /// per-center learning rates). 1.0 = classic full-batch Lloyd iterations.
+  double batch_fraction = 1.0;
+  /// Cap on worker threads: 0 = pool size, 1 = run serial (same result —
+  /// reductions use fixed chunk boundaries regardless of thread count).
+  std::size_t n_threads = 0;
+  /// Pool to run on (nullptr = ThreadPool::global()). Tests inject pools of
+  /// varying sizes to pin thread-count independence.
+  common::ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {
@@ -28,19 +51,47 @@ struct KMeansResult {
   std::size_t iterations = 0;
   std::size_t dim = 0;
   std::size_t n_clusters = 0;
+  double train_seconds = 0.0;   ///< seeding + Lloyd/mini-batch iterations
+  double assign_seconds = 0.0;  ///< final full-dataset labeling pass
 };
 
-/// Squared L2 distance between two dim-length vectors.
+/// Squared L2 distance between two dim-length vectors (8-chain semantics,
+/// dispatched on the active SIMD level).
 float l2_sq(const float* a, const float* b, std::size_t dim);
 
 /// Find the nearest centroid (row-major centroids, n x dim).
-/// Returns (index, squared distance).
+/// Returns (index, squared distance); ties break to the lowest index.
 std::pair<std::uint32_t, float> nearest_centroid(const float* point,
                                                  const float* centroids,
                                                  std::size_t n,
                                                  std::size_t dim);
 
+/// Centroid count padded for the transposed (dimension-major) layout.
+inline std::size_t pad8(std::size_t k) { return (k + 7) & ~std::size_t{7}; }
+
+/// Transpose row-major centroids (k x dim) into the dimension-major layout
+/// the blocked kernels scan: out[d * pad8(k) + c], zero-padded lanes.
+/// `out` is resized to dim * pad8(k).
+void transpose_centroids(const float* centroids, std::size_t k,
+                         std::size_t dim, std::vector<float>& out);
+
+/// Nearest centroid over a transposed layout (k_pad must be pad8(k)).
+/// Distances are bit-identical to l2_sq against the row-major centroid;
+/// ties break to the lowest index, exactly like nearest_centroid.
+std::pair<std::uint32_t, float> nearest_centroid_t(const float* point,
+                                                   const float* tctr,
+                                                   std::size_t k,
+                                                   std::size_t k_pad,
+                                                   std::size_t dim);
+
+/// All k squared distances over a transposed layout, bit-identical to
+/// calling l2_sq per row-major centroid. Used by the LUT build.
+void squared_dists_t(const float* point, const float* tctr, std::size_t k,
+                     std::size_t k_pad, std::size_t dim, float* out);
+
 /// Train k-means on `n` points of dimension `dim` (row-major `data`).
+/// Deterministic for a fixed seed and SIMD level: identical output for any
+/// use_threads / n_threads / pool-size combination.
 KMeansResult kmeans(std::span<const float> data, std::size_t n, std::size_t dim,
                     const KMeansOptions& opts);
 
@@ -50,5 +101,20 @@ std::vector<std::uint32_t> assign_labels(std::span<const float> data,
                                          std::span<const float> centroids,
                                          std::size_t n_clusters,
                                          bool use_threads = true);
+
+namespace detail {
+/// Per-level l2_sq implementations, exposed for the cross-level parity
+/// suite. Only call a variant the CPU supports (see simd_max_supported).
+float l2_sq_scalar(const float* a, const float* b, std::size_t dim);
+float l2_sq_sse2(const float* a, const float* b, std::size_t dim);
+float l2_sq_avx2(const float* a, const float* b, std::size_t dim);
+
+/// Run fn(i) for i in [0, count), fanned out across `pool` when `threaded`
+/// (inline otherwise). Tasks must not block on further work from the same
+/// pool — a saturated pool would deadlock (nested-parallelism rule).
+/// The first task exception is rethrown after all tasks finish.
+void run_indexed(common::ThreadPool* pool, bool threaded, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+}  // namespace detail
 
 }  // namespace upanns::quant

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/fastround.hpp"
 #include "common/thread_pool.hpp"
 
 namespace upanns::quant {
@@ -20,18 +21,44 @@ void ProductQuantizer::train(std::span<const float> data, std::size_t n,
   dsub_ = dim / opts.m;
   codebooks_.assign(m_ * kPqKsub * dsub_, 0.f);
 
-  // Train each subspace independently on the sliced training data.
-  std::vector<float> sub(n * dsub_);
-  for (std::size_t s = 0; s < m_; ++s) {
-    for (std::size_t i = 0; i < n; ++i) {
-      std::copy_n(data.data() + i * dim_ + s * dsub_, dsub_,
-                  sub.begin() + i * dsub_);
+  common::ThreadPool* pool =
+      opts.pool ? opts.pool : &common::ThreadPool::global();
+
+  // One blocked pass reorders the row-major training data into m contiguous
+  // subspace slices (slice s holds n x dsub), replacing the per-subspace
+  // strided copy the serial loop used to repeat m times. Row blocks are
+  // independent, so the built-in chunking is fine here.
+  std::vector<float> slices(static_cast<std::size_t>(n) * dim_);
+  auto transpose_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = 0; s < m_; ++s) {
+      float* dst = slices.data() + s * n * dsub_;
+      const float* src = data.data() + s * dsub_;
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::copy_n(src + i * dim_, dsub_, dst + i * dsub_);
+      }
     }
+  };
+  if (opts.use_threads && opts.n_threads != 1) {
+    pool->parallel_for_chunks(0, n, transpose_rows, 4096);
+  } else {
+    transpose_rows(0, n);
+  }
+
+  // Train each subspace independently on its slice. The m trainings fan out
+  // across the pool; the inner kmeans stays serial (nested-parallelism
+  // rule: a worker that blocks on further work from the same pool deadlocks
+  // once every worker does). Results are identical to the serial loop —
+  // each subspace sees the same slice, seed, and fixed-chunk reductions.
+  const bool outer_threads = opts.use_threads && opts.n_threads != 1;
+  auto train_subspace = [&](std::size_t s) {
     KMeansOptions ko;
     ko.n_clusters = kPqKsub;
     ko.max_iters = opts.train_iters;
     ko.seed = opts.seed + s;
     ko.max_training_points = opts.max_training_points;
+    ko.batch_fraction = opts.batch_fraction;
+    ko.use_threads = false;
+    std::span<const float> sub(slices.data() + s * n * dsub_, n * dsub_);
     KMeansResult res = kmeans(sub, n, dsub_, ko);
     // If n < 256 the trained centroid count is smaller; tile the trained
     // centroids so every code in [0,255] decodes to something sensible.
@@ -40,14 +67,28 @@ void ProductQuantizer::train(std::span<const float> data, std::size_t n,
       std::copy_n(res.centroids.data() + src * dsub_, dsub_,
                   codebooks_.begin() + (s * kPqKsub + c) * dsub_);
     }
+  };
+  detail::run_indexed(pool, outer_threads, m_, train_subspace);
+  rebuild_transposed();
+}
+
+void ProductQuantizer::rebuild_transposed() {
+  tcodebooks_.assign(m_ * dsub_ * kPqKsub, 0.f);
+  for (std::size_t s = 0; s < m_; ++s) {
+    const float* cb = codebooks_.data() + s * kPqKsub * dsub_;
+    float* t = tcodebooks_.data() + s * dsub_ * kPqKsub;
+    for (std::size_t c = 0; c < kPqKsub; ++c) {
+      for (std::size_t d = 0; d < dsub_; ++d) t[d * kPqKsub + c] = cb[c * dsub_ + d];
+    }
   }
 }
 
 void ProductQuantizer::encode(const float* vec, std::uint8_t* codes) const {
   assert(trained());
   for (std::size_t s = 0; s < m_; ++s) {
-    const float* cb = codebooks_.data() + s * kPqKsub * dsub_;
-    auto [c, d] = nearest_centroid(vec + s * dsub_, cb, kPqKsub, dsub_);
+    const float* tcb = tcodebooks_.data() + s * dsub_ * kPqKsub;
+    auto [c, d] =
+        nearest_centroid_t(vec + s * dsub_, tcb, kPqKsub, kPqKsub, dsub_);
     (void)d;
     codes[s] = static_cast<std::uint8_t>(c);
   }
@@ -73,12 +114,9 @@ void ProductQuantizer::decode(const std::uint8_t* codes, float* out) const {
 void ProductQuantizer::compute_lut(const float* query, float* lut) const {
   assert(trained());
   for (std::size_t s = 0; s < m_; ++s) {
-    const float* q = query + s * dsub_;
-    const float* cb = codebooks_.data() + s * kPqKsub * dsub_;
-    float* row = lut + s * kPqKsub;
-    for (std::size_t c = 0; c < kPqKsub; ++c) {
-      row[c] = l2_sq(q, cb + c * dsub_, dsub_);
-    }
+    const float* tcb = tcodebooks_.data() + s * dsub_ * kPqKsub;
+    squared_dists_t(query + s * dsub_, tcb, kPqKsub, kPqKsub, dsub_,
+                    lut + s * kPqKsub);
   }
 }
 
@@ -96,7 +134,7 @@ QuantizedLut ProductQuantizer::quantize_lut(std::span<const float> lut) const {
   for (std::size_t i = 0; i < lut.size(); ++i) {
     const float scaled = lut[i] * inv;
     q.table[i] = static_cast<std::uint16_t>(
-        std::min(65535.f, std::round(scaled)));
+        common::round_nonneg(std::min(65535.f, scaled)));
   }
   return q;
 }

@@ -23,6 +23,16 @@ struct PqOptions {
   std::size_t train_iters = 12;
   std::uint64_t seed = 123;
   std::size_t max_training_points = 65536;
+  /// Fan the m independent subspace trainings out across the pool. The
+  /// inner kmeans then runs serial (nested-parallelism rule, DESIGN.md §13);
+  /// output is identical either way because reductions use fixed chunks.
+  bool use_threads = true;
+  /// 0 = pool size; 1 forces a serial subspace loop.
+  std::size_t n_threads = 0;
+  /// Pool to run on (nullptr = ThreadPool::global()).
+  common::ThreadPool* pool = nullptr;
+  /// Mini-batch fraction forwarded to the per-subspace kmeans (1.0 = full).
+  double batch_fraction = 1.0;
 };
 
 /// A LUT quantized to uint16, as held in DPU WRAM. `scale` maps a float
@@ -84,10 +94,15 @@ class ProductQuantizer {
   static ProductQuantizer load_from(std::istream& is);
 
  private:
+  /// Rebuild the dimension-major codebook mirror the blocked encode / LUT
+  /// kernels scan. Called after train() and load_from().
+  void rebuild_transposed();
+
   std::size_t dim_ = 0;
   std::size_t m_ = 0;
   std::size_t dsub_ = 0;
-  std::vector<float> codebooks_;  // m x 256 x dsub
+  std::vector<float> codebooks_;   // m x 256 x dsub
+  std::vector<float> tcodebooks_;  // m x dsub x 256 (transposed per subspace)
 };
 
 }  // namespace upanns::quant

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace upanns::quant {
 namespace {
@@ -139,6 +140,68 @@ TEST(KMeans, SerialAndThreadedAgree) {
   KMeansOptions b = a;
   b.use_threads = false;
   EXPECT_EQ(kmeans(data, 240, 2, a).labels, kmeans(data, 240, 2, b).labels);
+}
+
+// The fixed-chunk reduction contract (DESIGN.md §13): chunk boundaries
+// depend only on n, never on worker count, so the training output is
+// bit-for-bit identical for serial and for any pool size.
+TEST(KMeans, BitIdenticalAcrossPoolSizes) {
+  common::Rng rng(9);
+  const auto data = make_blobs(400, rng);  // 1600 points, dim 2
+  KMeansOptions serial;
+  serial.n_clusters = 8;
+  serial.seed = 11;
+  serial.max_iters = 12;
+  serial.use_threads = false;
+  const auto want = kmeans(data, 1600, 2, serial);
+  for (std::size_t workers = 1; workers <= 4; ++workers) {
+    common::ThreadPool pool(workers);
+    KMeansOptions opts = serial;
+    opts.use_threads = true;
+    opts.n_threads = workers;
+    opts.pool = &pool;
+    const auto got = kmeans(data, 1600, 2, opts);
+    EXPECT_EQ(got.centroids, want.centroids) << "workers=" << workers;
+    EXPECT_EQ(got.labels, want.labels) << "workers=" << workers;
+    EXPECT_EQ(got.sizes, want.sizes) << "workers=" << workers;
+  }
+}
+
+TEST(KMeans, MiniBatchConvergesOnBlobs) {
+  common::Rng rng(10);
+  const auto data = make_blobs(200, rng);  // 800 points
+  KMeansOptions opts;
+  opts.n_clusters = 4;
+  opts.seed = 13;
+  opts.max_iters = 30;
+  opts.batch_fraction = 0.25;
+  const auto res = kmeans(data, 800, 2, opts);
+  ASSERT_EQ(res.n_clusters, 4u);
+  // Well-separated blobs: mini-batch must still land one centroid per blob
+  // (tiny per-point inertia) and label every point.
+  EXPECT_LT(res.inertia / 800.0, 1.0);
+  for (std::uint32_t s : res.sizes) EXPECT_EQ(s, 200u);
+}
+
+TEST(KMeans, MiniBatchDeterministicAcrossPoolSizes) {
+  common::Rng rng(12);
+  const auto data = make_blobs(200, rng);
+  KMeansOptions serial;
+  serial.n_clusters = 4;
+  serial.seed = 21;
+  serial.batch_fraction = 0.5;
+  serial.use_threads = false;
+  const auto want = kmeans(data, 800, 2, serial);
+  for (std::size_t workers = 1; workers <= 3; ++workers) {
+    common::ThreadPool pool(workers);
+    KMeansOptions opts = serial;
+    opts.use_threads = true;
+    opts.n_threads = workers;
+    opts.pool = &pool;
+    const auto got = kmeans(data, 800, 2, opts);
+    EXPECT_EQ(got.centroids, want.centroids) << "workers=" << workers;
+    EXPECT_EQ(got.labels, want.labels) << "workers=" << workers;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace upanns::quant {
 namespace {
@@ -172,6 +173,37 @@ TEST_P(PqMTest, RoundTripAcrossM) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ms, PqMTest, ::testing::Values(1, 2, 4, 8, 12, 16, 20));
+
+// Concurrent subspace training fans the m kmeans() calls across a pool with
+// the inner kmeans pinned serial (nested-parallelism rule, DESIGN.md §13).
+// The codebooks must come out bit-identical to the fully serial train for
+// any pool size.
+TEST(Pq, ParallelTrainBitIdenticalToSerial) {
+  const std::size_t n = 3000, dim = 32, m = 8;
+  const auto data = random_data(n, dim, 3);
+  PqOptions serial;
+  serial.m = m;
+  serial.train_iters = 5;
+  serial.seed = 3;
+  serial.use_threads = false;
+  ProductQuantizer want;
+  want.train(data, n, dim, serial);
+  for (std::size_t workers = 1; workers <= 4; workers += 3) {
+    common::ThreadPool pool(workers);
+    PqOptions opts = serial;
+    opts.use_threads = true;
+    opts.n_threads = workers;
+    opts.pool = &pool;
+    ProductQuantizer got;
+    got.train(data, n, dim, opts);
+    const auto ga = got.codebooks();
+    const auto wa = want.codebooks();
+    ASSERT_EQ(ga.size(), wa.size());
+    EXPECT_EQ(std::vector<float>(ga.begin(), ga.end()),
+              std::vector<float>(wa.begin(), wa.end()))
+        << "workers=" << workers;
+  }
+}
 
 }  // namespace
 }  // namespace upanns::quant

@@ -1,0 +1,225 @@
+// Cross-path SIMD parity: every kernel with scalar / SSE2 / AVX2 variants
+// must return bit-identical results at every dispatch level (DESIGN.md §13
+// — the 8-chain accumulation order is part of each kernel's contract, so
+// vector width is unobservable). These tests pin that, plus the dispatch
+// plumbing itself (parse / clamp / env override) and the libm-free
+// round_nonneg helper against std::round over the uint16 LUT domain.
+#include "common/simd_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/fastround.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+#include "data/query_workload.hpp"
+#include "ivf/cluster_stats.hpp"
+#include "quant/kmeans.hpp"
+#include "quant/pq.hpp"
+
+namespace upanns {
+namespace {
+
+bool supported(common::SimdLevel l) {
+  return static_cast<int>(common::simd_max_supported()) >=
+         static_cast<int>(l);
+}
+
+std::vector<common::SimdLevel> supported_levels() {
+  std::vector<common::SimdLevel> out{common::SimdLevel::kScalar};
+  if (supported(common::SimdLevel::kSse2)) out.push_back(common::SimdLevel::kSse2);
+  if (supported(common::SimdLevel::kAvx2)) out.push_back(common::SimdLevel::kAvx2);
+  return out;
+}
+
+/// Restore the dispatch level on scope exit so test order cannot leak.
+struct LevelGuard {
+  common::SimdLevel prev = common::simd_active_level();
+  ~LevelGuard() { common::set_simd_level(prev); }
+};
+
+std::vector<float> random_vec(common::Rng& rng, std::size_t n,
+                              float lo = -4.f, float hi = 4.f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(SimdDispatch, ParseAndNameRoundTrip) {
+  for (const auto l : {common::SimdLevel::kScalar, common::SimdLevel::kSse2,
+                       common::SimdLevel::kAvx2}) {
+    common::SimdLevel parsed;
+    ASSERT_TRUE(common::parse_simd_level(common::simd_level_name(l), &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  common::SimdLevel parsed;
+  EXPECT_FALSE(common::parse_simd_level("avx512", &parsed));
+  EXPECT_FALSE(common::parse_simd_level("", &parsed));
+  EXPECT_FALSE(common::parse_simd_level("SSE2 ", &parsed));
+}
+
+TEST(SimdDispatch, SetClampsToSupportedAndSticks) {
+  LevelGuard guard;
+  // Requesting the max is always satisfiable; requesting above the probe
+  // result clamps rather than faulting.
+  const auto eff = common::set_simd_level(common::SimdLevel::kAvx2);
+  EXPECT_LE(static_cast<int>(eff),
+            static_cast<int>(common::simd_max_supported()));
+  EXPECT_EQ(common::simd_active_level(), eff);
+  EXPECT_EQ(common::set_simd_level(common::SimdLevel::kScalar),
+            common::SimdLevel::kScalar);
+  EXPECT_EQ(common::simd_active_level(), common::SimdLevel::kScalar);
+}
+
+TEST(SimdKernels, L2SqBitExactAcrossImplementations) {
+  common::Rng rng(17);
+  for (const std::size_t dim :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{24}, std::size_t{51}, std::size_t{128}}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto a = random_vec(rng, dim);
+      const auto b = random_vec(rng, dim);
+      const float scalar = quant::detail::l2_sq_scalar(a.data(), b.data(), dim);
+      const float sse2 = quant::detail::l2_sq_sse2(a.data(), b.data(), dim);
+      EXPECT_EQ(std::memcmp(&scalar, &sse2, sizeof(float)), 0)
+          << "sse2 dim=" << dim;
+      if (supported(common::SimdLevel::kAvx2)) {
+        const float avx2 =
+            quant::detail::l2_sq_avx2(a.data(), b.data(), dim);
+        EXPECT_EQ(std::memcmp(&scalar, &avx2, sizeof(float)), 0)
+            << "avx2 dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DispatchedL2SqMatchesScalarAtEveryLevel) {
+  LevelGuard guard;
+  common::Rng rng(23);
+  const auto a = random_vec(rng, 51);
+  const auto b = random_vec(rng, 51);
+  const float want = quant::detail::l2_sq_scalar(a.data(), b.data(), 51);
+  for (const auto level : supported_levels()) {
+    common::set_simd_level(level);
+    const float got = quant::l2_sq(a.data(), b.data(), 51);
+    EXPECT_EQ(std::memcmp(&want, &got, sizeof(float)), 0)
+        << common::simd_level_name(level);
+  }
+}
+
+TEST(SimdKernels, TransposedDistsMatchRowMajorAtEveryLevel) {
+  LevelGuard guard;
+  common::Rng rng(29);
+  for (const std::size_t k :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}, std::size_t{17},
+        std::size_t{64}, std::size_t{100}, std::size_t{256}}) {
+    for (const std::size_t dim : {std::size_t{2}, std::size_t{8},
+                                  std::size_t{16}}) {
+      const auto centroids = random_vec(rng, k * dim);
+      const auto q = random_vec(rng, dim);
+      std::vector<float> tctr;
+      quant::transpose_centroids(centroids.data(), k, dim, tctr);
+      const std::size_t k_pad = quant::pad8(k);
+
+      // Reference: the row-major kernels at scalar level.
+      common::set_simd_level(common::SimdLevel::kScalar);
+      std::vector<float> want(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        want[c] = quant::l2_sq(q.data(), centroids.data() + c * dim, dim);
+      }
+      const auto [want_idx, want_d] =
+          quant::nearest_centroid(q.data(), centroids.data(), k, dim);
+
+      for (const auto level : supported_levels()) {
+        common::set_simd_level(level);
+        std::vector<float> got(k_pad);
+        quant::squared_dists_t(q.data(), tctr.data(), k, k_pad, dim,
+                               got.data());
+        EXPECT_EQ(std::memcmp(want.data(), got.data(), k * sizeof(float)), 0)
+            << "k=" << k << " dim=" << dim << " level="
+            << common::simd_level_name(level);
+        const auto [idx, d] =
+            quant::nearest_centroid_t(q.data(), tctr.data(), k, k_pad, dim);
+        EXPECT_EQ(idx, want_idx);
+        EXPECT_EQ(std::memcmp(&d, &want_d, sizeof(float)), 0);
+      }
+    }
+  }
+}
+
+TEST(FastRound, MatchesStdRoundOverLutDomain) {
+  // quantize_lut feeds round_nonneg values in [0, 65535]; the helper must
+  // agree with std::round bit-for-bit there (including the .5 ties, which
+  // both round away from zero for non-negative inputs).
+  for (std::uint32_t i = 0; i <= 65535u * 4u; ++i) {
+    const float x = static_cast<float>(i) * 0.25f;
+    ASSERT_EQ(common::round_nonneg(x), std::round(x)) << "x=" << x;
+  }
+  common::Rng rng(31);
+  for (int i = 0; i < 200'000; ++i) {
+    const float x = rng.uniform(0.f, 65535.f);
+    ASSERT_EQ(common::round_nonneg(x), std::round(x)) << "x=" << x;
+  }
+}
+
+// The acceptance bar for the serve path: neighbors must be byte-identical
+// at every dispatch level (float distances compared by bits, not
+// tolerance). LUT build, quantization and the integer token scans all
+// follow the fixed-order accumulation contract, so this holds exactly.
+TEST(SimdEngine, ServeNeighborsByteIdenticalAcrossLevels) {
+  LevelGuard guard;
+  common::set_simd_level(common::SimdLevel::kScalar);
+
+  data::Dataset base = data::generate_synthetic(data::sift1b_like(6000, 41));
+  ivf::IvfBuildOptions bopts;
+  bopts.n_clusters = 32;
+  bopts.pq_m = 16;
+  bopts.coarse_iters = 5;
+  bopts.pq_iters = 4;
+  const ivf::IvfIndex index = ivf::IvfIndex::build(base, bopts);
+
+  data::WorkloadSpec spec;
+  spec.n_queries = 16;
+  spec.seed = 4;
+  const auto wl = data::generate_workload(base, spec);
+  data::WorkloadSpec hist = spec;
+  hist.seed = 5;
+  hist.n_queries = 64;
+  const auto hw = data::generate_workload(base, hist);
+  const auto stats =
+      ivf::collect_stats(index, ivf::filter_batch(index, hw.queries, 8));
+
+  core::UpAnnsOptions opts = core::UpAnnsOptions::upanns();
+  opts.n_dpus = 8;
+  opts.nprobe = 8;
+  opts.k = 10;
+
+  core::UpAnnsEngine engine(index, stats, opts);
+  const auto want = engine.search(wl.queries).neighbors;
+  ASSERT_EQ(want.size(), wl.queries.n);
+
+  for (const auto level : supported_levels()) {
+    common::set_simd_level(level);
+    const auto got = engine.search(wl.queries).neighbors;
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t q = 0; q < want.size(); ++q) {
+      ASSERT_EQ(got[q].size(), want[q].size());
+      for (std::size_t i = 0; i < want[q].size(); ++i) {
+        EXPECT_EQ(got[q][i].id, want[q][i].id)
+            << "level=" << common::simd_level_name(level) << " q=" << q;
+        EXPECT_EQ(std::memcmp(&got[q][i].dist, &want[q][i].dist,
+                              sizeof(float)),
+                  0)
+            << "level=" << common::simd_level_name(level) << " q=" << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upanns
