@@ -166,6 +166,30 @@ std::size_t checked_count(const Args& a, const std::string& key,
   return static_cast<std::size_t>(v);
 }
 
+/// --adapt[=off|copies|full]: bare `--adapt` (parsed as "1") selects the
+/// default online mode, copies. Anything else unknown is a usage error.
+core::AdaptMode parse_adapt_flag(const Args& a) {
+  if (!a.flag("adapt")) return core::AdaptMode::kOff;
+  const std::string text = a.str("adapt", "off");
+  if (text == "1") return core::AdaptMode::kCopies;
+  core::AdaptMode mode;
+  if (!core::parse_adapt_mode(text, &mode)) {
+    throw UsageError("--adapt must be off, copies or full");
+  }
+  return mode;
+}
+
+/// --adapt-window N: controller window length (and decision cooldown) in
+/// batches. checked_count rejects garbage and 0; strtoull would wrap a
+/// leading minus to a huge count, so reject that explicitly.
+std::size_t adapt_window_flag(const Args& a) {
+  const auto it = a.kv.find("adapt-window");
+  if (it != a.kv.end() && !it->second.empty() && it->second[0] == '-') {
+    throw UsageError("--adapt-window must be an integer >= 1");
+  }
+  return checked_count(a, "adapt-window", 16);
+}
+
 data::DatasetFamily family_of(const std::string& name) {
   if (name == "deep") return data::DatasetFamily::kDeepLike;
   if (name == "spacev") return data::DatasetFamily::kSpacevLike;
@@ -301,6 +325,9 @@ int cmd_gen(const Args& a) {
   spec.seed = a.num("seed", 7);
   spec.size_sigma = data::family_size_sigma(family);
   spec.dense_core_frac = data::family_dense_core_frac(family);
+  // Cluster-contiguous storage makes `serve --shift` a real cluster-level
+  // drift (see SyntheticSpec::shuffle) — the adaptive-replication demo.
+  spec.shuffle = !a.flag("cluster-order");
   const data::Dataset ds = data::generate_synthetic(spec);
   const std::string out = a.str("out", "base.fvecs");
   data::write_fvecs(out, ds);
@@ -477,14 +504,23 @@ int cmd_serve(const Args& a) {
   // Non-const: --update-rate mutates the index between batches.
   ivf::IvfIndex index = ivf::IvfIndex::load(a.str("index", "index.bin"));
   const data::Dataset ds = data::read_fvecs(a.str("data", "base.fvecs"));
+  // Drift controls, validated up front so a typo exits 2 before any work.
+  const core::AdaptMode adapt = parse_adapt_flag(a);
+  const std::size_t adapt_window = adapt_window_flag(a);
   data::WorkloadSpec wspec;
   wspec.n_queries = a.num("queries", 512);
   wspec.seed = a.num("seed", 5);
+  // --shift rotates the Zipf popularity ranking of the *served* queries
+  // only; the placement below is still built from unshifted history, so a
+  // nonzero shift serves a deterministically drifted workload — the drift
+  // controller's natural trigger.
+  wspec.popularity_shift = a.num("shift", 0);
   const auto wl = data::generate_workload(ds, wspec);
 
   const std::size_t nprobe = a.num("nprobe", 16);
   data::WorkloadSpec hist = wspec;
   hist.seed = wspec.seed + 1;
+  hist.popularity_shift = 0;
   const auto hw_wl = data::generate_workload(ds, hist);
   const auto stats = ivf::collect_stats(
       index, ivf::filter_batch(index, hw_wl.queries, nprobe));
@@ -546,6 +582,13 @@ int cmd_serve(const Args& a) {
             "--trace-out requires the single-host pipeline (drop --hosts "
             "or --online)");
       }
+      if (adapt != core::AdaptMode::kOff) {
+        // The online multi-host executor calls cluster.search() directly —
+        // there is no batch stream to host the drift loop.
+        throw UsageError(
+            "--adapt with --online requires the single-host pipeline "
+            "(drop --hosts)");
+      }
       core::MultiHostOptions mh;
       mh.n_hosts = hosts;
       mh.per_host = opts;
@@ -563,6 +606,8 @@ int cmd_serve(const Args& a) {
       if (want_spans) backend->engine().set_spans(&spans);
       core::BatchPipelineOptions popts;
       popts.overlap = !a.flag("no-overlap");
+      popts.adapt = adapt;
+      popts.adaptive.window_batches = adapt_window;
       // Wall-clock request latency is booked by the server below; the
       // stream must not also book its simulated per-query latency.
       popts.book_query_latency = false;
@@ -630,6 +675,22 @@ int cmd_serve(const Args& a) {
     // it go to --spans-out only.
     if (stream) {
       const auto run = stream->finish();
+      if (adapt != core::AdaptMode::kOff) {
+        std::uint64_t adapt_bytes = 0;
+        double adapt_ms = 0;
+        std::size_t actions = 0;
+        for (const auto& slot : run.slots) {
+          adapt_bytes += slot.adapt_bytes;
+          adapt_ms += slot.adapt_seconds * 1e3;
+          if (slot.adapt_action != core::AdaptAction::kNone) ++actions;
+        }
+        std::printf("adapt(%s, window %zu): %zu actions, %llu bytes in "
+                    "%.3f ms (full image %llu bytes)\n",
+                    core::adapt_mode_name(adapt), adapt_window, actions,
+                    static_cast<unsigned long long>(adapt_bytes), adapt_ms,
+                    static_cast<unsigned long long>(
+                        backend->engine().load_image_bytes()));
+      }
       if (!trace_out.empty()) {
         const auto trace = obs::pipeline_trace(run);
         obs::write_text_file_guarded(
@@ -683,6 +744,8 @@ int cmd_serve(const Args& a) {
     }
     core::MultiHostPipelineOptions popts;
     popts.overlap = !a.flag("no-overlap");
+    popts.adapt = adapt;
+    popts.adaptive.window_batches = adapt_window;
     core::MultiHostBatchPipeline pipeline(cluster, popts);
     const auto run = pipeline.run(batches, hook);
 
@@ -705,6 +768,20 @@ int cmd_serve(const Args& a) {
                   "%.3f ms across the fleet\n",
                   updates.n_upserts, updates.n_removes,
                   static_cast<unsigned long long>(patch_bytes), patch_ms);
+    }
+    if (adapt != core::AdaptMode::kOff) {
+      std::uint64_t adapt_bytes = 0;
+      double adapt_ms = 0;
+      std::size_t actions = 0;
+      for (const auto& slot : run.slots) {
+        adapt_bytes += slot.adapt_bytes;
+        adapt_ms += slot.adapt_seconds * 1e3;
+        if (slot.adapt_action != core::AdaptAction::kNone) ++actions;
+      }
+      std::printf("adapt(%s, window %zu): %zu actions, %llu bytes in "
+                  "%.3f ms across the fleet\n",
+                  core::adapt_mode_name(adapt), adapt_window, actions,
+                  static_cast<unsigned long long>(adapt_bytes), adapt_ms);
     }
     for (std::size_t i = 0; i < run.slots.size(); ++i) {
       std::printf("  batch %2zu: pre %.4f ms, device %.4f ms, post %.4f ms\n",
@@ -760,6 +837,8 @@ int cmd_serve(const Args& a) {
 
   core::BatchPipelineOptions popts;
   popts.overlap = !a.flag("no-overlap");
+  popts.adapt = adapt;
+  popts.adaptive.window_batches = adapt_window;
   core::BatchPipeline pipeline(backend.engine(), popts);
 
   core::BatchPipeline::MutationHook hook;
@@ -784,6 +863,22 @@ int cmd_serve(const Args& a) {
                 "%.3f ms (full image %llu bytes)\n",
                 updates.n_upserts, updates.n_removes,
                 static_cast<unsigned long long>(patch_bytes), patch_ms,
+                static_cast<unsigned long long>(
+                    backend.engine().load_image_bytes()));
+  }
+  if (adapt != core::AdaptMode::kOff) {
+    std::uint64_t adapt_bytes = 0;
+    double adapt_ms = 0;
+    std::size_t actions = 0;
+    for (const auto& slot : run.slots) {
+      adapt_bytes += slot.adapt_bytes;
+      adapt_ms += slot.adapt_seconds * 1e3;
+      if (slot.adapt_action != core::AdaptAction::kNone) ++actions;
+    }
+    std::printf("adapt(%s, window %zu): %zu actions, %llu bytes in %.3f ms "
+                "(full image %llu bytes)\n",
+                core::adapt_mode_name(adapt), adapt_window, actions,
+                static_cast<unsigned long long>(adapt_bytes), adapt_ms,
                 static_cast<unsigned long long>(
                     backend.engine().load_image_bytes()));
   }
@@ -937,6 +1032,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: upanns_cli <gen|build|tune|search|serve|stats> [--key value ...]\n"
                "  gen    --family sift|deep|spacev --n N --out F.fvecs\n"
+               "         [--cluster-order]  (storage follows clusters; makes\n"
+               "          serve --shift a real cluster-popularity drift)\n"
                "  build  --data F.fvecs --clusters C --m M --out I.bin\n"
                "         [--build-threads N] [--batch-fraction F]\n"
                "         [--trace-out T.json] [--metrics-out M.json]\n"
@@ -947,6 +1044,8 @@ int usage() {
                "  serve  --index I.bin --data F.fvecs --queries Q --batch B\n"
                "         [--hosts N --net-gbps G --net-latency-us U]\n"
                "         [--update-rate R --compact-ratio C]\n"
+               "         [--adapt[=off|copies|full] --adapt-window N "
+               "--shift S]\n"
                "         [--online --target-qps Q --deadline-ms D\n"
                "          --queue-cap C --clients K]\n"
                "         [--no-overlap] [--trace-out T.json] [--metrics-out M.json]\n"

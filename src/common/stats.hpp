@@ -22,7 +22,9 @@ Summary summarize(const std::vector<double>& xs);
 double percentile(std::vector<double> xs, double p);
 
 /// max/mean ratio — the balance metric of paper Fig 11 (a ratio close to 1
-/// means DPU workloads are even).
+/// means DPU workloads are even). Degenerate inputs — empty, or all zero —
+/// return 0 rather than dividing by a zero mean, so callers can feed a raw
+/// busy-seconds vector without pre-filtering.
 double max_over_mean(const std::vector<double>& xs);
 
 /// Ordinary least squares y = a + b x.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/stats.hpp"
+
 namespace upanns::core {
 
 const char* adapt_action_name(AdaptAction a) {
@@ -14,6 +16,28 @@ const char* adapt_action_name(AdaptAction a) {
     case AdaptAction::kRelocate: return "relocate";
   }
   return "?";
+}
+
+const char* adapt_mode_name(AdaptMode m) {
+  switch (m) {
+    case AdaptMode::kOff: return "off";
+    case AdaptMode::kCopies: return "copies";
+    case AdaptMode::kFull: return "full";
+  }
+  return "?";
+}
+
+bool parse_adapt_mode(std::string_view text, AdaptMode* out) {
+  if (text == "off") {
+    *out = AdaptMode::kOff;
+  } else if (text == "copies") {
+    *out = AdaptMode::kCopies;
+  } else if (text == "full") {
+    *out = AdaptMode::kFull;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 AdaptiveController::AdaptiveController(std::size_t n_clusters,
@@ -36,6 +60,29 @@ void AdaptiveController::set_baseline(const std::vector<double>& frequencies) {
   }
   estimate_ = baseline_;
   window_.clear();
+}
+
+void AdaptiveController::observe_busy(
+    const std::vector<double>& dpu_busy_seconds) {
+  const double balance = common::max_over_mean(dpu_busy_seconds);
+  if (!busy_seen_) {
+    busy_balance_ = balance;
+    busy_seen_ = true;
+    return;
+  }
+  const double a = options_.ewma_alpha;
+  busy_balance_ = (1.0 - a) * busy_balance_ + a * balance;
+}
+
+std::vector<double> AdaptiveController::window_mean() const {
+  if (window_.empty()) return estimate_;
+  std::vector<double> mean(n_clusters_, 0.0);
+  for (const std::vector<double>& batch : window_) {
+    for (std::size_t c = 0; c < n_clusters_; ++c) mean[c] += batch[c];
+  }
+  const double inv = 1.0 / static_cast<double>(window_.size());
+  for (double& v : mean) v *= inv;
+  return mean;
 }
 
 void AdaptiveController::observe_batch(
@@ -76,24 +123,27 @@ double AdaptiveController::drift() const {
 AdaptReport AdaptiveController::recommend(
     const std::vector<std::size_t>& cluster_sizes,
     const std::vector<std::size_t>& current_copies,
-    double avg_dpu_workload) const {
+    double avg_dpu_workload, bool allow_relocate) const {
   assert(cluster_sizes.size() == n_clusters_);
   assert(current_copies.size() == n_clusters_);
   AdaptReport report;
   report.drift = drift();
 
-  if (report.drift >= options_.major_threshold) {
+  if (allow_relocate && report.drift >= options_.major_threshold) {
     report.action = AdaptAction::kRelocate;
     return report;
   }
 
-  // Desired replica counts under the *current* traffic estimate: Algorithm
-  // 1's ncpy = ceil(s_i * f_i / W-bar) recomputed with the fresh f_i.
+  // Desired replica counts under the *short-memory* traffic profile:
+  // Algorithm 1's ncpy = ceil(s_i * f_i / W-bar) recomputed with the window
+  // mean, so a hot set that already rolled out of the window stops holding
+  // replicas (the long-memory EWMA only gates whether acting is worth it).
+  const std::vector<double> freq = window_mean();
   std::size_t changed = 0;
   std::size_t replicated_total = 0;
   for (std::size_t c = 0; c < n_clusters_; ++c) {
     if (cluster_sizes[c] == 0) continue;
-    const double w = static_cast<double>(cluster_sizes[c]) * estimate_[c];
+    const double w = static_cast<double>(cluster_sizes[c]) * freq[c];
     const std::size_t want = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::ceil(w / std::max(avg_dpu_workload, 1e-30))));

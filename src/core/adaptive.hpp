@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <vector>
 
 #include "ivf/cluster_stats.hpp"
@@ -25,6 +26,18 @@ enum class AdaptAction {
 };
 
 const char* adapt_action_name(AdaptAction a);
+
+/// How much of the drift loop the serving pipelines run online.
+enum class AdaptMode {
+  kOff,    ///< no controller at all — byte-identical to builds without one
+  kCopies, ///< adjust-copies only; a relocate recommendation is downgraded
+  kFull    ///< adjust-copies plus full Algorithm-1 relocation on major drift
+};
+
+const char* adapt_mode_name(AdaptMode m);
+
+/// Parse "off" / "copies" / "full". Returns false on anything else.
+bool parse_adapt_mode(std::string_view text, AdaptMode* out);
 
 struct AdaptiveOptions {
   /// Sliding-window length in batches.
@@ -56,22 +69,41 @@ class AdaptiveController {
   AdaptiveController(std::size_t n_clusters, AdaptiveOptions options = {});
 
   /// Install the frequency profile the current placement was built against.
+  /// Also clears the sliding window and the EWMA estimate, so drift restarts
+  /// from zero — the pipelines call this right after acting on a report.
   void set_baseline(const std::vector<double>& frequencies);
 
   /// Feed one batch's probe lists (cluster ids each query visited).
   void observe_batch(const std::vector<std::vector<std::uint32_t>>& probes);
 
+  /// Feed one batch's per-DPU busy seconds (PimExtras::dpu_busy_seconds).
+  /// Tracked as an EWMA of the busy-time balance ratio so reports can carry
+  /// the pre-action imbalance; pure bookkeeping, never affects decisions.
+  void observe_busy(const std::vector<double>& dpu_busy_seconds);
+
   /// Current smoothed frequency estimate (normalized).
   const std::vector<double>& estimate() const { return estimate_; }
+
+  /// Mean of the sliding window's per-batch distributions — the short-memory
+  /// traffic profile recommend() sizes replica counts from. Stale batches
+  /// roll off after window_batches, unlike the long-memory EWMA that drives
+  /// drift detection. Falls back to the EWMA estimate on an empty window.
+  std::vector<double> window_mean() const;
 
   /// Total-variation distance between the estimate and the baseline.
   double drift() const;
 
+  /// Smoothed busy-time balance ratio (0 until observe_busy is fed).
+  double busy_balance() const { return busy_balance_; }
+
   /// Decide what to do given the average per-DPU workload target and current
-  /// per-cluster replica counts/sizes.
+  /// per-cluster replica counts/sizes. With allow_relocate false (AdaptMode
+  /// kCopies) major drift degrades to an adjust-copies recommendation
+  /// instead of a relocation.
   AdaptReport recommend(const std::vector<std::size_t>& cluster_sizes,
                         const std::vector<std::size_t>& current_copies,
-                        double avg_dpu_workload) const;
+                        double avg_dpu_workload,
+                        bool allow_relocate = true) const;
 
   std::size_t batches_observed() const { return batches_observed_; }
 
@@ -82,6 +114,8 @@ class AdaptiveController {
   std::vector<double> estimate_;
   std::deque<std::vector<double>> window_;
   std::size_t batches_observed_ = 0;
+  double busy_balance_ = 0.0;
+  bool busy_seen_ = false;
 };
 
 }  // namespace upanns::core

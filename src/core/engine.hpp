@@ -140,10 +140,49 @@ class UpAnnsEngine {
   /// Average CAE length reduction over resident clusters (build-time stat).
   double build_length_reduction() const { return build_length_reduction_; }
 
-  /// Rebuild the replica layout for a new frequency profile — the adaptive
-  /// path of Sec 4.1.2 (short-term: adjust copies; here realized as a fresh
-  /// Algorithm 1 pass + MRAM reload, without retraining the index).
-  void relocate(const ivf::ClusterStats& stats);
+  /// One incremental patch pass: delta-sync of changed list segments.
+  struct PatchStats {
+    std::uint64_t bytes_written = 0;  ///< MRAM bytes actually pushed
+    std::size_t lists_patched = 0;    ///< dirty (cluster, replica) images
+    std::size_t regions_moved = 0;    ///< relocations past the slack cap
+    double seconds = 0;               ///< simulated host->DPU push time
+  };
+
+  /// Rebuild the replica layout for a new frequency profile — the
+  /// major-drift path of Sec 4.1.2 (fresh Algorithm 1 pass + full MRAM
+  /// reload, without retraining the index). Returns the reload cost so the
+  /// online pipelines can charge it to a batch slot: bytes_written is the
+  /// full image, seconds the per-DPU batch push; callers that relocate
+  /// between workloads may ignore it.
+  PatchStats relocate(const ivf::ClusterStats& stats);
+
+  /// Result of one apply_copy_adjustments() pass. Retires are host-side
+  /// bookkeeping (regions return to the MRAM free list) and cost nothing;
+  /// only newly loaded replica images ship bytes.
+  struct AdaptStats {
+    std::size_t replicas_added = 0;
+    std::size_t replicas_retired = 0;
+    std::uint64_t bytes_written = 0;  ///< MRAM bytes pushed for new replicas
+    double seconds = 0;               ///< simulated host->DPU push time
+  };
+
+  /// The minor-drift path of Sec 4.1.2: re-place only the requested replica
+  /// deltas (core::adjust_replicas) and ship them incrementally — new
+  /// replica images load into reused MRAM regions (mram_alloc_reuse with
+  /// the usual slack), retired replicas release theirs — without touching
+  /// any other resident cluster. `frequencies` is the fresh traffic
+  /// estimate the adjustments were derived from. Replication changes
+  /// placement, never results: neighbors are bit-identical before/after.
+  AdaptStats apply_copy_adjustments(
+      const std::vector<CopyAdjustment>& adjustments,
+      const std::vector<double>& frequencies);
+
+  /// Frequency profile (normalized) the current placement was built
+  /// against — the drift baseline for AdaptiveController::set_baseline.
+  /// Updated by relocate().
+  const std::vector<double>& placement_frequencies() const {
+    return placement_frequencies_;
+  }
 
   // ----- Streaming updates (engines built from a mutable index) -----
 
@@ -160,14 +199,6 @@ class UpAnnsEngine {
 
   /// True when the index mutated since the MRAM images were last synced.
   bool needs_patch() const;
-
-  /// One incremental patch pass: delta-sync of changed list segments.
-  struct PatchStats {
-    std::uint64_t bytes_written = 0;  ///< MRAM bytes actually pushed
-    std::size_t lists_patched = 0;    ///< dirty (cluster, replica) images
-    std::size_t regions_moved = 0;    ///< relocations past the slack cap
-    double seconds = 0;               ///< simulated host->DPU push time
-  };
 
   /// Push only the dirty list segments (ids with tombstone sentinels, token
   /// stream, chunk index, combos) plus the updated length/static-mark
@@ -205,7 +236,9 @@ class UpAnnsEngine {
     std::uint32_t n_tombstones = 0;
   };
 
-  void load_dpus(const ivf::ClusterStats& stats);
+  /// Full MRAM image load; returns the bytes pushed per DPU (relocate turns
+  /// them into simulated transfer seconds, the constructor discards them).
+  std::vector<std::size_t> load_dpus(const ivf::ClusterStats& stats);
   void encode_cluster(std::size_t c);
   /// Bring encodings_[c] up to date with the list: full re-encode after a
   /// compaction, cheap direct-token append after pure inserts.
@@ -213,6 +246,7 @@ class UpAnnsEngine {
   void build_cluster_image(std::uint32_t c, ClusterImage& out) const;
   std::size_t slack_bytes(std::size_t bytes) const;
   void snapshot_loaded_state();
+  void set_placement_frequencies(const std::vector<double>& frequencies);
 
   const ivf::IvfIndex& index_;
   ivf::IvfIndex* mutable_index_ = nullptr;
@@ -220,6 +254,7 @@ class UpAnnsEngine {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::SpanLog* spans_ = nullptr;
   Placement placement_;
+  std::vector<double> placement_frequencies_;
   std::unique_ptr<pim::PimSystem> system_;
   std::vector<PerDpu> per_dpu_;
 

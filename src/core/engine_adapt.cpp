@@ -1,0 +1,195 @@
+// Online-adaptation half of UpAnnsEngine: apply_copy_adjustments(), the
+// minor-drift path of paper Sec 4.1.2. The drift controller's replica-count
+// deltas are re-placed by core::adjust_replicas and shipped incrementally —
+// new replica images load into reused MRAM regions, retired replicas release
+// theirs to the free list — so a copy adjustment moves a small fraction of
+// the full image where a relocate() would reload everything. Replication
+// changes placement, never results: every (query, cluster) pair still scans
+// exactly one replica of the same byte-identical image, so neighbors match
+// the unadapted run bit for bit.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "pim/transfer.hpp"
+
+namespace upanns::core {
+
+UpAnnsEngine::AdaptStats UpAnnsEngine::apply_copy_adjustments(
+    const std::vector<CopyAdjustment>& adjustments,
+    const std::vector<double>& frequencies) {
+  AdaptStats stats;
+  if (adjustments.empty()) return stats;
+
+  const std::vector<std::size_t> sizes = index_.list_sizes();
+  const std::vector<CopyDelta> deltas = adjust_replicas(
+      placement_, index_, adjustments, sizes, frequencies,
+      options_.placement);
+  if (deltas.empty()) return stats;
+
+  // New replicas are built from the shared encodings; pending mutations for
+  // the touched clusters must land there first. Their *other* replicas stay
+  // stale until the next patch_dpus() (loaded_gen_ is untouched here), which
+  // then finds the freshly loaded copy byte-identical and skips it.
+  if (updatable()) {
+    for (const CopyDelta& d : deltas) {
+      if (d.add) refresh_encoding(d.cluster);
+    }
+  }
+
+  std::vector<std::vector<CopyDelta>> per_dpu_deltas(options_.n_dpus);
+  for (const CopyDelta& d : deltas) per_dpu_deltas[d.dpu].push_back(d);
+
+  const std::size_t dim = index_.dim();
+  std::vector<std::size_t> dpu_bytes(options_.n_dpus, 0);
+  std::vector<std::size_t> dpu_added(options_.n_dpus, 0);
+  std::vector<std::size_t> dpu_retired(options_.n_dpus, 0);
+
+  common::ThreadPool::global().parallel_for(
+      0, options_.n_dpus,
+      [&](std::size_t d) {
+        const std::vector<CopyDelta>& ops = per_dpu_deltas[d];
+        if (ops.empty()) return;
+        PerDpu& pd = per_dpu_[d];
+        pim::Dpu& dpu = system_->dpu(d);
+        // Per-batch scratch lives past the static mark; drop it so released
+        // regions and fresh loads can take the space (same as patch_dpus).
+        dpu.mram_rewind(pd.static_mark);
+
+        ClusterImage img;
+        std::uint64_t bytes = 0;
+        for (const CopyDelta& op : ops) {
+          if (!op.add) {
+            // Retire: release the replica's regions to the MRAM free list
+            // and drop its descriptor (swap-remove keeps slots dense; the
+            // kernel resolves cluster_slot per batch, so renumbering between
+            // batches is safe).
+            const std::int32_t slot = pd.cluster_slot[op.cluster];
+            assert(slot >= 0);
+            DpuClusterData& cd =
+                pd.layout.clusters[static_cast<std::size_t>(slot)];
+            if (cd.ids_cap > 0) dpu.mram_release(cd.ids_off, cd.ids_cap);
+            if (cd.stream_cap > 0) {
+              dpu.mram_release(cd.stream_off, cd.stream_cap);
+            }
+            if (cd.chunk_cap > 0) {
+              dpu.mram_release(cd.chunk_index_off, cd.chunk_cap);
+            }
+            if (cd.combos_cap > 0) {
+              dpu.mram_release(cd.combos_off, cd.combos_cap);
+            }
+            dpu.mram_release(cd.centroid_off, dim * sizeof(float));
+            const std::size_t last = pd.layout.clusters.size() - 1;
+            if (static_cast<std::size_t>(slot) != last) {
+              pd.layout.clusters[static_cast<std::size_t>(slot)] =
+                  pd.layout.clusters[last];
+              pd.cluster_slot[pd.layout.clusters[static_cast<std::size_t>(
+                                  slot)].cluster_id] = slot;
+            }
+            pd.layout.clusters.pop_back();
+            pd.cluster_slot[op.cluster] = -1;
+            ++dpu_retired[d];
+            continue;
+          }
+
+          // Add: build the replica image and load it into reused regions,
+          // with the same slack policy as a full load so later streaming
+          // inserts patch it in place.
+          build_cluster_image(op.cluster, img);
+          DpuClusterData cd;
+          cd.cluster_id = op.cluster;
+          cd.n_records = img.n_records;
+          cd.n_tombstones = img.n_tombstones;
+
+          const std::size_t ids_bytes = img.ids.size() * sizeof(std::uint32_t);
+          cd.ids_cap = slack_bytes(ids_bytes);
+          cd.ids_off = dpu.mram_alloc_reuse(cd.ids_cap, "ids");
+          if (ids_bytes > 0) {
+            dpu.host_write(cd.ids_off, img.ids.data(), ids_bytes);
+          }
+          bytes += ids_bytes;
+
+          cd.stream_cap = slack_bytes(img.stream.size());
+          cd.stream_off = dpu.mram_alloc_reuse(
+              cd.stream_cap,
+              mode_ == KernelMode::kNaiveRaw ? "codes" : "tokens");
+          if (!img.stream.empty()) {
+            dpu.host_write(cd.stream_off, img.stream.data(),
+                           img.stream.size());
+          }
+          cd.stream_len = img.stream_elems;
+          bytes += img.stream.size();
+
+          const std::size_t chunk_bytes =
+              img.chunk_index.size() * sizeof(std::uint32_t);
+          cd.n_chunks = static_cast<std::uint32_t>(img.chunk_index.size());
+          if (chunk_bytes > 0) {
+            cd.chunk_cap = slack_bytes(chunk_bytes);
+            cd.chunk_index_off = dpu.mram_alloc_reuse(cd.chunk_cap,
+                                                      "chunk-index");
+            dpu.host_write(cd.chunk_index_off, img.chunk_index.data(),
+                           chunk_bytes);
+            bytes += chunk_bytes;
+          }
+
+          cd.n_combos = static_cast<std::uint32_t>(img.combos.size() / 4);
+          if (!img.combos.empty()) {
+            cd.combos_cap = slack_bytes(img.combos.size());
+            cd.combos_off = dpu.mram_alloc_reuse(cd.combos_cap, "combos");
+            dpu.host_write(cd.combos_off, img.combos.data(),
+                           img.combos.size());
+            bytes += img.combos.size();
+          }
+
+          cd.centroid_off = dpu.mram_alloc_reuse(dim * sizeof(float),
+                                                 "centroid");
+          dpu.host_write(cd.centroid_off, index_.centroid(op.cluster),
+                         dim * sizeof(float));
+          bytes += dim * sizeof(float);
+
+          pd.cluster_slot[op.cluster] =
+              static_cast<std::int32_t>(pd.layout.clusters.size());
+          pd.layout.clusters.push_back(cd);
+          ++dpu_added[d];
+        }
+        pd.static_mark = dpu.mram_mark();
+        dpu_bytes[d] = static_cast<std::size_t>(bytes);
+      },
+      1);
+
+  bool any_bytes = false;
+  for (std::size_t d = 0; d < options_.n_dpus; ++d) {
+    stats.bytes_written += dpu_bytes[d];
+    stats.replicas_added += dpu_added[d];
+    stats.replicas_retired += dpu_retired[d];
+    any_bytes = any_bytes || dpu_bytes[d] > 0;
+  }
+  // Charged like every other host->DPU push. A pure-retire pass ships
+  // nothing and costs nothing — the regions just return to the free list.
+  pim::TransferStats xfer;
+  if (any_bytes) {
+    xfer = pim::TransferEngine::batch(dpu_bytes);
+    stats.seconds = xfer.seconds;
+  }
+
+  if (metrics_) {
+    metrics_->counter("adapt.patches").add(1);
+    metrics_->counter("adapt.patch_bytes").add(stats.bytes_written);
+    metrics_->counter("adapt.replicas_added").add(stats.replicas_added);
+    metrics_->counter("adapt.replicas_retired").add(stats.replicas_retired);
+    metrics_->histogram("adapt.patch.seconds").observe(stats.seconds);
+    if (any_bytes) {
+      pim::TransferEngine::record(obs::MetricsSink(metrics_), "adapt", xfer);
+    }
+  }
+  common::log_debug("adapt-patch: +", stats.replicas_added, " replicas, -",
+                    stats.replicas_retired, " replicas, ",
+                    stats.bytes_written, " bytes, ", stats.seconds, " s");
+  return stats;
+}
+
+}  // namespace upanns::core

@@ -10,6 +10,7 @@
 #include "common/fastround.hpp"
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
+#include "pim/transfer.hpp"
 
 namespace upanns::core {
 
@@ -76,7 +77,19 @@ UpAnnsEngine::UpAnnsEngine(const ivf::IvfIndex& index,
                    ? place_clusters(index_, stats, options_.placement)
                    : place_random(index_, stats, options_.placement,
                                   options_.seed);
+  set_placement_frequencies(stats.frequencies);
   load_dpus(stats);
+}
+
+void UpAnnsEngine::set_placement_frequencies(
+    const std::vector<double>& frequencies) {
+  placement_frequencies_ = frequencies;
+  placement_frequencies_.resize(index_.n_clusters(), 0.0);
+  double total = 0;
+  for (double f : placement_frequencies_) total += f;
+  if (total > 0) {
+    for (double& f : placement_frequencies_) f /= total;
+  }
 }
 
 void UpAnnsEngine::set_k(std::size_t k) {
@@ -99,7 +112,7 @@ void UpAnnsEngine::set_metrics(obs::MetricsRegistry* registry) {
   if (system_) system_->set_metrics(registry);
 }
 
-void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
+UpAnnsEngine::PatchStats UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
   // A relocate rebuilds every MRAM image from the shared encodings, so any
   // pending index mutations must land in the encodings first.
   if (updatable()) {
@@ -111,7 +124,16 @@ void UpAnnsEngine::relocate(const ivf::ClusterStats& stats) {
                    ? place_clusters(index_, stats, options_.placement)
                    : place_random(index_, stats, options_.placement,
                                   options_.seed);
-  load_dpus(stats);
+  set_placement_frequencies(stats.frequencies);
+  const std::vector<std::size_t> dpu_bytes = load_dpus(stats);
+
+  // Charge the reload like every other host->DPU push so the online
+  // pipelines can fold a drain-point relocation into a batch slot.
+  PatchStats out;
+  out.bytes_written = load_image_bytes_;
+  out.lists_patched = placement_.total_replicas;
+  out.seconds = pim::TransferEngine::batch(dpu_bytes).seconds;
+  return out;
 }
 
 void UpAnnsEngine::encode_cluster(std::size_t c) {
@@ -231,7 +253,7 @@ void UpAnnsEngine::snapshot_loaded_state() {
   loaded_epoch_ = index_.mutation_epoch();
 }
 
-void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
+std::vector<std::size_t> UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
   system_ = std::make_unique<pim::PimSystem>(options_.n_dpus);
   system_->set_metrics(metrics_);  // relocate() rebuilds the system
   per_dpu_.assign(options_.n_dpus, PerDpu{});
@@ -240,7 +262,7 @@ void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
   const std::size_t dsub = index_.pq().dsub();
   const std::size_t dim = index_.dim();
 
-  std::vector<std::uint64_t> dpu_bytes(options_.n_dpus, 0);
+  std::vector<std::size_t> dpu_bytes(options_.n_dpus, 0);
   common::ThreadPool::global().parallel_for(
       0, options_.n_dpus,
       [&](std::size_t d) {
@@ -321,13 +343,14 @@ void UpAnnsEngine::load_dpus(const ivf::ClusterStats&) {
           pd.layout.clusters.push_back(cd);
         }
         pd.static_mark = dpu.mram_mark();
-        dpu_bytes[d] = bytes;
+        dpu_bytes[d] = static_cast<std::size_t>(bytes);
       },
       1);
 
   load_image_bytes_ = 0;
-  for (std::uint64_t b : dpu_bytes) load_image_bytes_ += b;
+  for (std::size_t b : dpu_bytes) load_image_bytes_ += b;
   snapshot_loaded_state();
+  return dpu_bytes;
 }
 
 }  // namespace upanns::core

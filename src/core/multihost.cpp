@@ -364,6 +364,7 @@ MultiHostPipelineReport MultiHostBatchPipeline::run(
     const std::vector<data::Dataset>& batches, const MutationHook& mutate) {
   MultiHostPipelineReport out;
   out.overlapped = opts_.overlap;
+  const bool adapting = opts_.adapt != AdaptMode::kOff;
 
   for (std::size_t b = 0; b < batches.size(); ++b) {
     const data::Dataset& batch = batches[b];
@@ -374,19 +375,35 @@ MultiHostPipelineReport MultiHostBatchPipeline::run(
       slot.patch_seconds = ps.seconds;
       slot.patch_bytes = ps.bytes_written;
     }
-    slot.report = cluster_.search(batch);
+    // Mutations land first so adaptive replicas build from fresh encodings;
+    // the adaptation is a fleet-wide drain point between batches.
+    if (adapting) apply_pending_adaptation(slot);
+    std::vector<std::vector<std::uint32_t>> probes;
+    if (adapting) {
+      // One coordinator probe pass, shared by the search and by every
+      // host's controller. search_with_probes charges the same simulated
+      // filter time search() would, so a quiet controller keeps the run
+      // bit-identical to the non-adaptive path.
+      probes = ivf::filter_batch(cluster_.index(), batch,
+                                 cluster_.options().per_host.nprobe);
+      slot.report = cluster_.search_with_probes(batch, probes);
+    } else {
+      slot.report = cluster_.search(batch);
+    }
     slot.pre_seconds =
         slot.report.coord_filter_seconds + slot.report.broadcast_seconds;
-    // The fleet-wide patch occupies the hosts' MRAM buses, so it leads the
-    // device phase like the single-host pipeline's patch; adding 0.0 keeps
-    // read-only runs bit-identical.
-    slot.device_seconds =
-        slot.report.slowest_host_seconds + slot.patch_seconds;
+    // The fleet-wide patch (and any drift adaptation) occupies the hosts'
+    // MRAM buses, so it leads the device phase like the single-host
+    // pipeline's patch; adding 0.0 keeps read-only runs bit-identical.
+    slot.device_seconds = slot.report.slowest_host_seconds +
+                          slot.patch_seconds + slot.adapt_seconds;
     slot.post_seconds =
         slot.report.gather_seconds + slot.report.coord_merge_seconds;
     out.n_queries += batch.n;
-    out.serial_seconds += slot.report.seconds + slot.patch_seconds;
+    out.serial_seconds +=
+        slot.report.seconds + slot.patch_seconds + slot.adapt_seconds;
     out.slots.push_back(std::move(slot));
+    if (adapting) observe_and_decide(probes);
   }
 
   if (!opts_.overlap || out.slots.empty()) {
@@ -414,6 +431,11 @@ MultiHostPipelineReport MultiHostBatchPipeline::run(
                      slot.patch_seconds);
         sink.count("multihost_pipeline.patch_bytes", slot.patch_bytes);
       }
+      if (slot.adapt_seconds > 0) {
+        sink.observe("multihost_pipeline.slot.adapt_seconds",
+                     slot.adapt_seconds);
+        sink.count("multihost_pipeline.adapt_bytes", slot.adapt_bytes);
+      }
       // Per-query latency (submission to merge completion) under the same
       // timeline the exporter draws, into the cumulative histogram and the
       // rolling window at the batch's completion time.
@@ -432,6 +454,117 @@ MultiHostPipelineReport MultiHostBatchPipeline::run(
     obs::append_multihost_spans(*cluster_.spans(), out);
   }
   return out;
+}
+
+void MultiHostBatchPipeline::apply_pending_adaptation(
+    MultiHostBatchSlot& slot) {
+  bool applied = false;
+  for (std::size_t h = 0; h < adapt_.size(); ++h) {
+    HostAdapt& ha = adapt_[h];
+    if (!ha.controller || ha.pending.action == AdaptAction::kNone) continue;
+    UpAnnsEngine& engine = cluster_.host_engine(h);
+    double seconds = 0;
+    std::uint64_t bytes = 0;
+    if (ha.pending.action == AdaptAction::kRelocate) {
+      // Per-host Algorithm-1 re-placement over this host's resident shard:
+      // foreign and never-placed clusters keep size 0, so shard ownership —
+      // and with it every neighbor list — is unchanged.
+      ivf::ClusterStats stats;
+      stats.sizes = cluster_.index().list_sizes();
+      stats.frequencies = ha.pending_freqs;
+      for (std::size_t c = 0; c < stats.sizes.size(); ++c) {
+        if (engine.placement().cluster_dpus[c].empty()) stats.sizes[c] = 0;
+      }
+      stats.workloads.resize(stats.sizes.size());
+      for (std::size_t c = 0; c < stats.sizes.size(); ++c) {
+        stats.workloads[c] =
+            static_cast<double>(stats.sizes[c]) * stats.frequencies[c];
+      }
+      const UpAnnsEngine::PatchStats ps = engine.relocate(stats);
+      seconds = ps.seconds;
+      bytes = ps.bytes_written;
+    } else {
+      const UpAnnsEngine::AdaptStats as = engine.apply_copy_adjustments(
+          ha.pending.adjustments, ha.pending_freqs);
+      seconds = as.seconds;
+      bytes = as.bytes_written;
+    }
+    // Hosts adapt their own MRAM buses concurrently: slot time is the
+    // slowest host's, volume sums, and the slot keeps the most severe
+    // action (relocate > adjust-copies) with the largest drift.
+    slot.adapt_seconds = std::max(slot.adapt_seconds, seconds);
+    slot.adapt_bytes += bytes;
+    if (static_cast<int>(ha.pending.action) >
+        static_cast<int>(slot.adapt_action)) {
+      slot.adapt_action = ha.pending.action;
+    }
+    slot.adapt_drift = std::max(slot.adapt_drift, ha.pending.drift);
+
+    obs::MetricsSink sink(cluster_.metrics());
+    if (sink.enabled()) {
+      sink.count(std::string("adapt.actions.") +
+                 adapt_action_name(ha.pending.action));
+      sink.set("adapt.drift", ha.pending.drift);
+    }
+
+    // This host's placement now matches the decided profile.
+    ha.controller->set_baseline(ha.pending_freqs);
+    ha.pending = AdaptReport{};
+    ha.pending_freqs.clear();
+    applied = true;
+  }
+  if (applied) observed_since_action_ = 0;
+}
+
+void MultiHostBatchPipeline::observe_and_decide(
+    const std::vector<std::vector<std::uint32_t>>& probes) {
+  if (adapt_.empty()) {
+    adapt_.resize(cluster_.n_hosts());
+    for (std::size_t h = 0; h < cluster_.n_hosts(); ++h) {
+      if (!cluster_.host_active(h)) continue;
+      adapt_[h].controller = std::make_unique<AdaptiveController>(
+          cluster_.index().n_clusters(), opts_.adaptive);
+      adapt_[h].controller->set_baseline(
+          cluster_.host_engine(h).placement_frequencies());
+    }
+  }
+  for (HostAdapt& ha : adapt_) {
+    if (ha.controller) ha.controller->observe_batch(probes);
+  }
+  ++observed_since_action_;
+
+  for (const HostAdapt& ha : adapt_) {
+    // Awaiting the fleet-wide drain point: no new decisions while any host
+    // still has one pending.
+    if (ha.pending.action != AdaptAction::kNone) return;
+  }
+  if (observed_since_action_ < opts_.adaptive.window_batches) return;
+
+  const std::vector<std::size_t> sizes = cluster_.index().list_sizes();
+  for (std::size_t h = 0; h < adapt_.size(); ++h) {
+    HostAdapt& ha = adapt_[h];
+    if (!ha.controller) continue;
+    const Placement& placement = cluster_.host_engine(h).placement();
+    std::vector<std::size_t> copies(sizes.size(), 0);
+    std::vector<std::size_t> resident_sizes = sizes;
+    const std::vector<double> freqs = ha.controller->window_mean();
+    double total_workload = 0;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      copies[c] = placement.cluster_dpus[c].size();
+      // Foreign and never-placed clusters have no resident replica here;
+      // masking them to size 0 keeps each host inside its own shard.
+      if (copies[c] == 0) resident_sizes[c] = 0;
+      total_workload += static_cast<double>(resident_sizes[c]) * freqs[c];
+    }
+    const double w_bar =
+        total_workload / static_cast<double>(placement.n_dpus());
+    AdaptReport rep = ha.controller->recommend(
+        resident_sizes, copies, w_bar,
+        /*allow_relocate=*/opts_.adapt == AdaptMode::kFull);
+    if (rep.action == AdaptAction::kNone) continue;
+    ha.pending = std::move(rep);
+    ha.pending_freqs = freqs;
+  }
 }
 
 }  // namespace upanns::core

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "core/engine.hpp"
 
 namespace upanns::core {
@@ -103,6 +104,10 @@ class MultiHostUpAnns {
 
   const MultiHostOptions& options() const { return options_; }
 
+  /// The shared index every host shards. The adaptive pipeline computes one
+  /// coordinator-side probe pass from it for the whole fleet.
+  const ivf::IvfIndex& index() const { return index_; }
+
   MultiHostReport search(const data::Dataset& queries);
   /// Search with externally computed probe lists (skips the coordinator
   /// filtering pass's computation but still charges its simulated time,
@@ -162,6 +167,13 @@ struct MultiHostPipelineOptions {
   /// False reproduces the synchronous per-batch totals exactly (CLI
   /// --no-overlap).
   bool overlap = true;
+  /// Online drift adaptation, mirroring BatchPipelineOptions: every host
+  /// runs its own controller over the coordinator's shared probe stream and
+  /// adjusts the replicas of its own shard at batch drain points. kOff runs
+  /// no controller code at all — byte-identical to builds without one.
+  AdaptMode adapt = AdaptMode::kOff;
+  /// Controller tuning; window_batches doubles as the decision cooldown.
+  AdaptiveOptions adaptive{};
 };
 
 /// One scheduled batch in a multi-host pipeline run. The three phases
@@ -179,6 +191,14 @@ struct MultiHostBatchSlot {
   /// fleet's device phase like the single-host pipeline's patch).
   double patch_seconds = 0;
   std::uint64_t patch_bytes = 0;
+  /// Drift-controller replication patch applied across the fleet before this
+  /// batch, after the mutation patch (folded into device_seconds the same
+  /// way). Hosts adapt their own MRAM buses concurrently: seconds is the
+  /// slowest host's, bytes sum; action/drift record the most severe host.
+  double adapt_seconds = 0;
+  std::uint64_t adapt_bytes = 0;
+  AdaptAction adapt_action = AdaptAction::kNone;
+  double adapt_drift = 0;
   MultiHostReport report;
 };
 
@@ -231,8 +251,22 @@ class MultiHostBatchPipeline {
                               const MutationHook& mutate);
 
  private:
+  void apply_pending_adaptation(MultiHostBatchSlot& slot);
+  void observe_and_decide(
+      const std::vector<std::vector<std::uint32_t>>& probes);
+
+  /// Per-host drift state: every host watches the same coordinator probe
+  /// stream but sizes replica counts against its own shard's placement.
+  struct HostAdapt {
+    std::unique_ptr<AdaptiveController> controller;
+    AdaptReport pending;
+    std::vector<double> pending_freqs;
+  };
+
   MultiHostUpAnns& cluster_;
   MultiHostPipelineOptions opts_;
+  std::vector<HostAdapt> adapt_;
+  std::size_t observed_since_action_ = 0;
 };
 
 }  // namespace upanns::core

@@ -142,9 +142,18 @@ double LaunchStage::run(QueryPipeline& pl, BatchContext& ctx) {
       pl.options().n_tasklets);
   px.dpu_busy_seconds = ctx.launch.dpu_seconds;
   {
+    // Every DPU that holds data participates in the ratio: a placement that
+    // starves half the fleet must read as imbalanced, so zero-busy DPUs
+    // count as long as they have at least one resident cluster (dropping
+    // them made max-over-mean report ~1.0 for arbitrarily skewed batches).
+    // Truly empty DPUs (no clusters placed) stay excluded — they can never
+    // receive work.
     std::vector<double> busy;
-    for (double s : ctx.launch.dpu_seconds) {
-      if (s > 0) busy.push_back(s);
+    for (std::size_t d = 0; d < ndpu; ++d) {
+      if (ctx.launch.dpu_seconds[d] > 0 ||
+          !pl.placement().dpu_clusters[d].empty()) {
+        busy.push_back(ctx.launch.dpu_seconds[d]);
+      }
     }
     px.balance_ratio = common::max_over_mean(busy);
   }
@@ -302,7 +311,8 @@ QueryPipeline::QueryPipeline(UpAnnsEngine& engine) : engine_(engine) {
 SearchReport QueryPipeline::run(
     const data::Dataset& queries,
     const std::vector<std::vector<std::uint32_t>>* probes,
-    std::uint64_t batch_id, std::uint64_t first_query_id) {
+    std::uint64_t batch_id, std::uint64_t first_query_id,
+    std::vector<std::vector<std::uint32_t>>* probes_out) {
   BatchContext ctx;
   ctx.queries = &queries;
   ctx.probes = probes;
@@ -352,6 +362,17 @@ SearchReport QueryPipeline::run(
     ctx.report.query_costs = std::move(qc);
   }
 
+  // Hand the probe lists to the caller (adaptive drift loop) after every
+  // stage consumed them; moving the filter-owned vector changes nothing the
+  // stages produced, so captured and uncaptured runs stay bit-identical.
+  if (probes_out != nullptr) {
+    if (ctx.probes == &ctx.owned_probes) {
+      *probes_out = std::move(ctx.owned_probes);
+    } else {
+      *probes_out = *ctx.probes;
+    }
+  }
+
   ctx.report.pim->n_dpus = options().n_dpus;
   const double total = ctx.report.times.total();
   ctx.report.qps =
@@ -392,23 +413,133 @@ const BatchSlot& BatchStream::run_batch(const data::Dataset& batch) {
     slot.patch_seconds = ps.seconds;
     slot.patch_bytes = ps.bytes_written;
   }
+  // Mutations land first so an adaptive replica added below is built from
+  // fresh encodings; the adaptation itself is a drain point — the previous
+  // batch fully finished, the next has not started.
+  const bool adapting = opts_.adapt != AdaptMode::kOff;
+  if (adapting) apply_pending_adaptation(slot);
+
+  std::vector<std::vector<std::uint32_t>> probes;
   slot.report = pipeline_.run(batch, nullptr, out_.slots.size(),
-                              first_query_id_);
+                              first_query_id_, adapting ? &probes : nullptr);
   first_query_id_ += batch.n;
 
   // Host prefix = the leading kHost trace entries (filter + schedule);
   // the device phase is the exact remainder of the batch total plus any
-  // MRAM patch, so host + device always reproduces times.total() (+
-  // patch) bit-for-bit. With no mutations pending patch_seconds is 0 and
-  // the accounting matches the read-only overload exactly.
+  // MRAM patch or adaptation work, so host + device always reproduces
+  // times.total() (+ patch + adapt) bit-for-bit. With no mutations pending
+  // and no controller action both extras are 0 and the accounting matches
+  // the read-only overload exactly.
   slot.host_seconds = leading_host_seconds(slot.report);
-  slot.device_seconds =
-      slot.report.times.total() - slot.host_seconds + slot.patch_seconds;
+  slot.device_seconds = slot.report.times.total() - slot.host_seconds +
+                        slot.patch_seconds + slot.adapt_seconds;
 
   out_.n_queries += batch.n;
-  out_.serial_seconds += slot.report.times.total() + slot.patch_seconds;
+  out_.serial_seconds +=
+      slot.report.times.total() + slot.patch_seconds + slot.adapt_seconds;
   out_.slots.push_back(std::move(slot));
+  if (adapting) observe_and_decide(probes, out_.slots.back());
   return out_.slots.back();
+}
+
+void BatchStream::apply_pending_adaptation(BatchSlot& slot) {
+  if (pending_.action == AdaptAction::kNone) return;
+  const double balance_pre = adapt_ ? adapt_->busy_balance() : 0.0;
+
+  if (pending_.action == AdaptAction::kRelocate) {
+    // Major drift: full Algorithm-1 re-placement over the *resident* cluster
+    // set (never-placed clusters stay out, so the searchable set — and with
+    // it every neighbor list — is unchanged), sized for the profile the
+    // controller decided on.
+    ivf::ClusterStats stats;
+    stats.sizes = engine_.index().list_sizes();
+    stats.frequencies = pending_freqs_;
+    for (std::size_t c = 0; c < stats.sizes.size(); ++c) {
+      if (engine_.placement().cluster_dpus[c].empty()) stats.sizes[c] = 0;
+    }
+    stats.workloads.resize(stats.sizes.size());
+    for (std::size_t c = 0; c < stats.sizes.size(); ++c) {
+      stats.workloads[c] =
+          static_cast<double>(stats.sizes[c]) * stats.frequencies[c];
+    }
+    const UpAnnsEngine::PatchStats ps = engine_.relocate(stats);
+    pipeline_.reset_kernels();  // pooled kernels referenced the old layouts
+    slot.adapt_seconds = ps.seconds;
+    slot.adapt_bytes = ps.bytes_written;
+  } else {
+    const UpAnnsEngine::AdaptStats as =
+        engine_.apply_copy_adjustments(pending_.adjustments, pending_freqs_);
+    slot.adapt_seconds = as.seconds;
+    slot.adapt_bytes = as.bytes_written;
+  }
+  slot.adapt_action = pending_.action;
+  slot.adapt_drift = pending_.drift;
+
+  obs::MetricsSink sink = engine_.metrics();
+  if (sink.enabled()) {
+    sink.count(std::string("adapt.actions.") +
+               adapt_action_name(pending_.action));
+    sink.set("adapt.drift", pending_.drift);
+    sink.set("adapt.balance_pre", balance_pre);
+  }
+
+  // The placement now matches the decided profile: restart drift from it.
+  adapt_->set_baseline(pending_freqs_);
+  pending_ = AdaptReport{};
+  pending_freqs_.clear();
+  observed_since_action_ = 0;
+  adapt_applied_last_ = true;
+}
+
+void BatchStream::observe_and_decide(
+    const std::vector<std::vector<std::uint32_t>>& probes,
+    const BatchSlot& slot) {
+  if (!adapt_) {
+    adapt_ = std::make_unique<AdaptiveController>(
+        engine_.index().n_clusters(), opts_.adaptive);
+    adapt_->set_baseline(engine_.placement_frequencies());
+  }
+  adapt_->observe_batch(probes);
+  if (slot.report.pim) {
+    adapt_->observe_busy(slot.report.pim->dpu_busy_seconds);
+    if (adapt_applied_last_) {
+      // First batch served on the adjusted placement: record the post-action
+      // balance next to the pre-action one booked at apply time.
+      obs::MetricsSink sink = engine_.metrics();
+      if (sink.enabled()) {
+        sink.set("adapt.balance_post", slot.report.pim->balance_ratio);
+      }
+      adapt_applied_last_ = false;
+    }
+  }
+  ++observed_since_action_;
+
+  if (pending_.action != AdaptAction::kNone) return;  // awaiting drain point
+  if (observed_since_action_ < opts_.adaptive.window_batches) return;
+
+  const std::vector<std::size_t> sizes = engine_.index().list_sizes();
+  const Placement& placement = engine_.placement();
+  std::vector<std::size_t> copies(sizes.size(), 0);
+  std::vector<std::size_t> resident_sizes = sizes;
+  double total_workload = 0;
+  const std::vector<double> freqs = adapt_->window_mean();
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    copies[c] = placement.cluster_dpus[c].size();
+    // Only clusters with a resident replica participate: adopting a
+    // never-placed cluster online would change the searchable set (and in a
+    // multi-host shard would steal another host's clusters).
+    if (copies[c] == 0) resident_sizes[c] = 0;
+    total_workload += static_cast<double>(resident_sizes[c]) * freqs[c];
+  }
+  const double w_bar =
+      total_workload / static_cast<double>(placement.n_dpus());
+
+  AdaptReport rep =
+      adapt_->recommend(resident_sizes, copies, w_bar,
+                        /*allow_relocate=*/opts_.adapt == AdaptMode::kFull);
+  if (rep.action == AdaptAction::kNone) return;
+  pending_ = std::move(rep);
+  pending_freqs_ = freqs;
 }
 
 BatchPipelineReport BatchStream::finish() {
@@ -448,6 +579,10 @@ BatchPipelineReport BatchStream::finish() {
       if (slot.patch_seconds > 0) {
         sink.observe("batch_pipeline.slot.patch_seconds", slot.patch_seconds);
         sink.count("batch_pipeline.patch_bytes", slot.patch_bytes);
+      }
+      if (slot.adapt_seconds > 0) {
+        sink.observe("batch_pipeline.slot.adapt_seconds", slot.adapt_seconds);
+        sink.count("batch_pipeline.adapt_bytes", slot.adapt_bytes);
       }
       // Per-query latency under the pipeline's accounting: submission to
       // batch completion, recorded once per query of the batch, both

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "core/backend.hpp"
 #include "core/dpu_kernel.hpp"
 #include "core/engine.hpp"
@@ -120,11 +121,16 @@ class QueryPipeline {
   /// batch_id / first_query_id are the stable telemetry ids stamped into
   /// SearchReport::query_costs when the engine has a span log attached
   /// (obs/span.hpp); they are ignored otherwise, so standalone searches can
-  /// leave them defaulted.
+  /// leave them defaulted. probes_out, when non-null, receives the batch's
+  /// probe lists after the stages ran (moved out when the filter stage
+  /// computed them) — the adaptive serving loop feeds them to its drift
+  /// controller; null skips the capture entirely.
   SearchReport run(const data::Dataset& queries,
                    const std::vector<std::vector<std::uint32_t>>* probes,
                    std::uint64_t batch_id = 0,
-                   std::uint64_t first_query_id = 0);
+                   std::uint64_t first_query_id = 0,
+                   std::vector<std::vector<std::uint32_t>>* probes_out =
+                       nullptr);
 
   UpAnnsEngine& engine() { return engine_; }
   const ivf::IvfIndex& index() const { return engine_.index_; }
@@ -144,6 +150,11 @@ class QueryPipeline {
   /// pointer stays owned by the pipeline and must not outlive it.
   QueryKernel* acquire_kernel(std::size_t d, const DpuLaunchInput& input);
 
+  /// Drop every pooled kernel. Required after UpAnnsEngine::relocate(): a
+  /// relocation rebuilds the per-DPU layout objects the pooled kernels hold
+  /// references into, so they must be reconstructed on next use.
+  void reset_kernels() { kernel_pool_.clear(); }
+
  private:
   UpAnnsEngine& engine_;
   std::vector<std::unique_ptr<QueryStage>> stages_;
@@ -160,6 +171,18 @@ struct BatchPipelineOptions {
   /// latencies under the same name instead, so the metric never mixes the
   /// simulated and wall-clock time bases.
   bool book_query_latency = true;
+  /// Online adaptive replication (paper Sec 4.1.2): after each batch the
+  /// stream feeds the probe histogram and per-DPU busy seconds into an
+  /// AdaptiveController; a recommendation made at the end of batch i is
+  /// applied before batch i+1 runs (a drain point), its MRAM cost folded
+  /// into that slot's device phase like a mutation patch. kOff (the
+  /// default) skips the controller entirely and is byte-identical to a
+  /// build without the feature.
+  AdaptMode adapt = AdaptMode::kOff;
+  /// Controller tuning when adapt != kOff. window_batches doubles as the
+  /// decision cooldown: at least that many batches are observed after every
+  /// action (or stream start) before the controller may act again.
+  AdaptiveOptions adaptive{};
 };
 
 /// One scheduled batch in a pipeline run.
@@ -170,6 +193,14 @@ struct BatchSlot {
   /// with pending mutations only; folded into device_seconds).
   double patch_seconds = 0;
   std::uint64_t patch_bytes = 0;
+  /// Adaptive-replication work applied before this batch — a copy-adjust
+  /// MRAM load or a full relocation, decided at the end of an earlier batch
+  /// (BatchPipelineOptions::adapt). Folded into device_seconds like the
+  /// mutation patch; zero whenever the controller did not act.
+  double adapt_seconds = 0;
+  std::uint64_t adapt_bytes = 0;
+  AdaptAction adapt_action = AdaptAction::kNone;
+  double adapt_drift = 0;  ///< controller drift at decision time
   SearchReport report;
 };
 
@@ -214,11 +245,24 @@ class BatchStream {
   BatchPipelineReport finish();
 
  private:
+  void apply_pending_adaptation(BatchSlot& slot);
+  void observe_and_decide(
+      const std::vector<std::vector<std::uint32_t>>& probes,
+      const BatchSlot& slot);
+
   UpAnnsEngine& engine_;
   BatchPipelineOptions opts_;
   QueryPipeline pipeline_;
   BatchPipelineReport out_;
   std::uint64_t first_query_id_ = 0;
+
+  // Drift-loop state (adapt != kOff only). The controller survives finish()
+  // so a reused stream keeps its traffic estimate across runs.
+  std::unique_ptr<AdaptiveController> adapt_;
+  AdaptReport pending_;             ///< decision awaiting the next drain point
+  std::vector<double> pending_freqs_;  ///< profile the decision was sized for
+  std::size_t observed_since_action_ = 0;
+  bool adapt_applied_last_ = false;  ///< book post-action balance next batch
 };
 
 /// Streams query batches through the engine with double-buffered time

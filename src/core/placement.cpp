@@ -154,6 +154,83 @@ Placement place_clusters(const ivf::IvfIndex& index,
   return out;
 }
 
+std::vector<CopyDelta> adjust_replicas(
+    Placement& placement, const ivf::IvfIndex& index,
+    const std::vector<CopyAdjustment>& adjustments,
+    const std::vector<std::size_t>& cluster_sizes,
+    const std::vector<double>& frequencies, const PlacementOptions& opts) {
+  const std::size_t ndpu = placement.n_dpus();
+  if (ndpu == 0) throw std::invalid_argument("adjust_replicas: empty placement");
+  const std::size_t max_vecs = derive_max_dpu_vectors(index, opts);
+
+  std::vector<CopyDelta> applied;
+  for (const CopyAdjustment& adj : adjustments) {
+    if (adj.cluster >= placement.cluster_dpus.size()) continue;
+    const std::uint32_t c = adj.cluster;
+    std::vector<std::uint32_t>& holders = placement.cluster_dpus[c];
+    const std::size_t old_ncpy = holders.size();
+    if (old_ncpy == 0) continue;  // unplaced cluster: never adopt online
+
+    const std::int64_t raw =
+        static_cast<std::int64_t>(old_ncpy) + adj.delta;
+    std::size_t target = raw < 1 ? 1 : static_cast<std::size_t>(raw);
+    target = std::min(target, ndpu);
+    if (opts.max_replicas > 0) target = std::min(target, opts.max_replicas);
+    target = std::max<std::size_t>(target, 1);
+    if (target == old_ncpy) continue;
+
+    // Strip this cluster's advisory workload shares; they are re-added at
+    // the fresh per-replica value once the holder set is final. dpu_workload
+    // stays advisory (Alg-2 re-balances per batch), so re-basing only the
+    // touched cluster on the new frequencies is sufficient.
+    const double w_total =
+        static_cast<double>(cluster_sizes[c]) * frequencies[c];
+    const double old_share = w_total / static_cast<double>(old_ncpy);
+    for (std::uint32_t d : holders) placement.dpu_workload[d] -= old_share;
+
+    while (holders.size() < target) {
+      std::size_t best = ndpu;
+      for (std::size_t d = 0; d < ndpu; ++d) {
+        if (std::find(holders.begin(), holders.end(),
+                      static_cast<std::uint32_t>(d)) != holders.end()) {
+          continue;
+        }
+        if (placement.dpu_vectors[d] + cluster_sizes[c] > max_vecs) continue;
+        if (best == ndpu ||
+            placement.dpu_workload[d] < placement.dpu_workload[best]) {
+          best = d;
+        }
+      }
+      if (best == ndpu) break;  // no eligible DPU: accept fewer replicas
+      holders.push_back(static_cast<std::uint32_t>(best));
+      placement.dpu_clusters[best].push_back(c);
+      placement.dpu_vectors[best] += cluster_sizes[c];
+      ++placement.total_replicas;
+      applied.push_back({c, static_cast<std::uint32_t>(best), true});
+    }
+    while (holders.size() > target) {
+      std::size_t victim_at = 0;
+      for (std::size_t i = 1; i < holders.size(); ++i) {
+        if (placement.dpu_workload[holders[i]] >
+            placement.dpu_workload[holders[victim_at]]) {
+          victim_at = i;
+        }
+      }
+      const std::uint32_t victim = holders[victim_at];
+      holders.erase(holders.begin() + static_cast<std::ptrdiff_t>(victim_at));
+      std::vector<std::uint32_t>& resident = placement.dpu_clusters[victim];
+      resident.erase(std::find(resident.begin(), resident.end(), c));
+      placement.dpu_vectors[victim] -= cluster_sizes[c];
+      --placement.total_replicas;
+      applied.push_back({c, victim, false});
+    }
+
+    const double share = w_total / static_cast<double>(holders.size());
+    for (std::uint32_t d : holders) placement.dpu_workload[d] += share;
+  }
+  return applied;
+}
+
 Placement place_random(const ivf::IvfIndex& index,
                        const ivf::ClusterStats& stats,
                        const PlacementOptions& opts, std::uint64_t seed) {

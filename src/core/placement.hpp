@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "ivf/cluster_stats.hpp"
 #include "ivf/ivf_index.hpp"
 
@@ -63,5 +64,30 @@ std::vector<std::uint32_t> proximity_order(const ivf::IvfIndex& index);
 /// Per-vector MRAM footprint used to derive MAX_DPU_SIZE: id + codes with
 /// headroom for the CAE token stream and chunk index.
 std::size_t mram_bytes_per_vector(std::size_t pq_m);
+
+/// One applied replica change from adjust_replicas().
+struct CopyDelta {
+  std::uint32_t cluster;
+  std::uint32_t dpu;
+  bool add;  ///< true: new replica loads onto dpu; false: replica retires
+};
+
+/// Apply Sec 4.1.2 minor-drift replica deltas to an existing placement in
+/// place — the online counterpart of place_clusters that touches only the
+/// adjusted clusters. New replicas go to the least-loaded DPU (by advisory
+/// dpu_workload, ties to the lowest index) that does not already hold the
+/// cluster and has MRAM capacity; retired replicas leave the most-loaded
+/// holder, never dropping a cluster below one replica. `frequencies` is the
+/// fresh traffic estimate the deltas were derived from; the touched
+/// clusters' advisory workload shares are re-based on it. Deterministic:
+/// identical inputs yield identical deltas. Replica targets are clamped to
+/// [1, n_dpus] (and opts.max_replicas when set); a delta that finds no
+/// eligible DPU is partially applied, so callers must act on the returned
+/// list, not the request.
+std::vector<CopyDelta> adjust_replicas(
+    Placement& placement, const ivf::IvfIndex& index,
+    const std::vector<CopyAdjustment>& adjustments,
+    const std::vector<std::size_t>& cluster_sizes,
+    const std::vector<double>& frequencies, const PlacementOptions& opts);
 
 }  // namespace upanns::core

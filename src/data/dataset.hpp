@@ -64,6 +64,12 @@ struct SyntheticSpec {
   /// oversized inverted list (the max-cluster skew behind the paper's
   /// Faiss-GPU OOM marks, Fig 12).
   double dense_core_frac = 0.0;
+  /// Shuffle storage order so it carries no cluster information (the
+  /// realistic default). False keeps points cluster-contiguous, which makes
+  /// the region-based workload generator's popularity ranking — and its
+  /// popularity_shift drift — line up with natural clusters; the CLI's
+  /// drifting-workload demo (`gen --cluster-order`) relies on this.
+  bool shuffle = true;
   std::uint64_t seed = 7;
 
   std::size_t dim() const { return family_dim(family); }

@@ -206,13 +206,15 @@ Dataset generate_synthetic(const SyntheticSpec& spec) {
   }
   assert(row == spec.n);
 
-  // Shuffle rows.
-  auto perm = common::random_permutation(spec.n, rng);
-  std::vector<float> shuffled(spec.n * dim);
-  for (std::size_t i = 0; i < spec.n; ++i) {
-    std::copy_n(ds.row(perm[i]), dim, shuffled.begin() + i * dim);
+  // Shuffle rows (unless the spec wants cluster-contiguous storage).
+  if (spec.shuffle) {
+    auto perm = common::random_permutation(spec.n, rng);
+    std::vector<float> shuffled(spec.n * dim);
+    for (std::size_t i = 0; i < spec.n; ++i) {
+      std::copy_n(ds.row(perm[i]), dim, shuffled.begin() + i * dim);
+    }
+    ds.values = std::move(shuffled);
   }
-  ds.values = std::move(shuffled);
   return ds;
 }
 

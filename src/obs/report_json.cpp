@@ -88,6 +88,14 @@ void append_batch_pipeline_report(JsonWriter& w,
       w.kv("patch_seconds", slot.patch_seconds);
       w.kv("patch_bytes", slot.patch_bytes);
     }
+    // Adapt keys likewise only when the drift controller acted, so runs
+    // with --adapt=off (or a quiet controller) serialize byte-identically.
+    if (slot.adapt_seconds > 0) {
+      w.kv("adapt_seconds", slot.adapt_seconds);
+      w.kv("adapt_bytes", slot.adapt_bytes);
+      w.kv("adapt_action", core::adapt_action_name(slot.adapt_action));
+      w.kv("adapt_drift", slot.adapt_drift);
+    }
     w.key("report");
     append_search_report(w, slot.report);
     w.end_object();
@@ -140,6 +148,12 @@ void append_multi_host_pipeline_report(JsonWriter& w,
     if (slot.patch_seconds > 0) {
       w.kv("patch_seconds", slot.patch_seconds);
       w.kv("patch_bytes", slot.patch_bytes);
+    }
+    if (slot.adapt_seconds > 0) {
+      w.kv("adapt_seconds", slot.adapt_seconds);
+      w.kv("adapt_bytes", slot.adapt_bytes);
+      w.kv("adapt_action", core::adapt_action_name(slot.adapt_action));
+      w.kv("adapt_drift", slot.adapt_drift);
     }
     w.key("report");
     append_multi_host_report(w, slot.report);

@@ -69,6 +69,14 @@ void append_pipeline_spans(SpanLog& log,
                          slot.patch_seconds));
       cursor += slot.patch_seconds;
     }
+    // Drift-controller replication patch follows the mutation patch; it
+    // shares the "patch" category so the span accounting identity
+    // (query spans + patch spans == serial_seconds) keeps holding.
+    if (slot.adapt_seconds > 0) {
+      log.push(make_span(root, "adapt-patch", "patch", bi, cursor,
+                         slot.adapt_seconds));
+      cursor += slot.adapt_seconds;
+    }
     for (; step < slot.report.trace.size(); ++step) {
       const core::StageStep& s = slot.report.trace[step];
       placed.push_back({&s, cursor});
@@ -136,10 +144,16 @@ void append_multihost_spans(SpanLog& log,
                        r.broadcast_seconds));
     // The fleet-wide MRAM patch leads the device phase (same position the
     // single-host pipeline gives it).
-    const double fleet_start = w.device_start + slot.patch_seconds;
+    const double fleet_start =
+        w.device_start + slot.patch_seconds + slot.adapt_seconds;
     if (slot.patch_seconds > 0) {
       log.push(make_span(root, "mram-patch", "patch", bi, w.device_start,
                          slot.patch_seconds));
+    }
+    if (slot.adapt_seconds > 0) {
+      log.push(make_span(root, "adapt-patch", "patch", bi,
+                         w.device_start + slot.patch_seconds,
+                         slot.adapt_seconds));
     }
     for (std::size_t h = 0; h < r.host_slots.size(); ++h) {
       const core::MultiHostHostSlot& hs = r.host_slots[h];

@@ -42,6 +42,7 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
   t.lanes.emplace_back(1, "device");
   std::size_t max_dpu_lane = 0;
   std::vector<std::size_t> patch_slices;  // lane fixed up once lanes are known
+  std::vector<std::size_t> adapt_slices;
 
   const std::vector<BatchWindows> windows = pipeline_timeline(report);
   for (std::size_t b = 0; b < report.slots.size(); ++b) {
@@ -68,6 +69,14 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
           {"mram-patch", "patch", 0, cursor, slot.patch_seconds, b});
       cursor += slot.patch_seconds;
     }
+    // A replication patch from the drift controller (copy adjust or
+    // relocate) follows the mutation patch; device_seconds covers it too.
+    if (slot.adapt_seconds > 0) {
+      adapt_slices.push_back(t.slices.size());
+      t.slices.push_back(
+          {"adapt-patch", "patch", 0, cursor, slot.adapt_seconds, b});
+      cursor += slot.adapt_seconds;
+    }
     double launch_start = cursor;
     for (; step < slot.report.trace.size(); ++step) {
       const core::StageStep& s = slot.report.trace[step];
@@ -92,12 +101,17 @@ PipelineTrace pipeline_trace(const core::BatchPipelineReport& report) {
     t.lanes.emplace_back(static_cast<int>(2 + d),
                          "dpu-" + std::to_string(d));
   }
-  // Patch lane only exists when some batch actually patched, so read-only
-  // runs export a byte-identical trace.
+  // Patch and adapt lanes only exist when some batch actually used them, so
+  // read-only (and adapt-off) runs export a byte-identical trace.
+  int next_lane = static_cast<int>(2 + max_dpu_lane + 1);
   if (!patch_slices.empty()) {
-    const int lane = static_cast<int>(2 + max_dpu_lane + 1);
-    for (std::size_t i : patch_slices) t.slices[i].lane = lane;
-    t.lanes.emplace_back(lane, "mram-patch");
+    for (std::size_t i : patch_slices) t.slices[i].lane = next_lane;
+    t.lanes.emplace_back(next_lane, "mram-patch");
+    ++next_lane;
+  }
+  if (!adapt_slices.empty()) {
+    for (std::size_t i : adapt_slices) t.slices[i].lane = next_lane;
+    t.lanes.emplace_back(next_lane, "adapt-patch");
   }
   return t;
 }
@@ -185,6 +199,7 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
   t.lanes.emplace_back(1, "network");
   std::size_t max_host_lane = 0;
   std::vector<std::size_t> patch_slices;  // lane fixed up once lanes are known
+  std::vector<std::size_t> adapt_slices;
 
   const std::vector<core::MultiHostBatchWindows> windows =
       core::multihost_timeline(report);
@@ -201,11 +216,18 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
     // A fleet-wide MRAM patch leads the device phase (device_seconds
     // already includes it), so the host slices start after it and still end
     // exactly at w.device_end.
-    const double fleet_start = w.device_start + slot.patch_seconds;
+    const double fleet_start =
+        w.device_start + slot.patch_seconds + slot.adapt_seconds;
     if (slot.patch_seconds > 0) {
       patch_slices.push_back(t.slices.size());
       t.slices.push_back({"mram-patch", "patch", 0, w.device_start,
                           slot.patch_seconds, b});
+    }
+    if (slot.adapt_seconds > 0) {
+      adapt_slices.push_back(t.slices.size());
+      t.slices.push_back({"adapt-patch", "patch", 0,
+                          w.device_start + slot.patch_seconds,
+                          slot.adapt_seconds, b});
     }
     for (std::size_t h = 0; h < r.host_slots.size(); ++h) {
       const core::MultiHostHostSlot& s = r.host_slots[h];
@@ -233,12 +255,17 @@ PipelineTrace multihost_trace(const core::MultiHostPipelineReport& report) {
     t.lanes.emplace_back(static_cast<int>(2 + h),
                          "host-" + std::to_string(h));
   }
-  // Patch lane only exists when some batch actually patched, so read-only
-  // runs export a byte-identical trace.
+  // Patch and adapt lanes only exist when some batch actually used them, so
+  // read-only (and adapt-off) runs export a byte-identical trace.
+  int next_lane = static_cast<int>(2 + max_host_lane + 1);
   if (!patch_slices.empty()) {
-    const int lane = static_cast<int>(2 + max_host_lane + 1);
-    for (std::size_t i : patch_slices) t.slices[i].lane = lane;
-    t.lanes.emplace_back(lane, "mram-patch");
+    for (std::size_t i : patch_slices) t.slices[i].lane = next_lane;
+    t.lanes.emplace_back(next_lane, "mram-patch");
+    ++next_lane;
+  }
+  if (!adapt_slices.empty()) {
+    for (std::size_t i : adapt_slices) t.slices[i].lane = next_lane;
+    t.lanes.emplace_back(next_lane, "adapt-patch");
   }
   return t;
 }

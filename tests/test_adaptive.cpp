@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace upanns::core {
 namespace {
 
@@ -122,6 +124,162 @@ TEST(Adaptive, ActionNames) {
   EXPECT_STREQ(adapt_action_name(AdaptAction::kNone), "none");
   EXPECT_STREQ(adapt_action_name(AdaptAction::kAdjustCopies), "adjust-copies");
   EXPECT_STREQ(adapt_action_name(AdaptAction::kRelocate), "relocate");
+}
+
+TEST(Adaptive, ModeNamesAndParsing) {
+  EXPECT_STREQ(adapt_mode_name(AdaptMode::kOff), "off");
+  EXPECT_STREQ(adapt_mode_name(AdaptMode::kCopies), "copies");
+  EXPECT_STREQ(adapt_mode_name(AdaptMode::kFull), "full");
+  AdaptMode m = AdaptMode::kOff;
+  EXPECT_TRUE(parse_adapt_mode("full", &m));
+  EXPECT_EQ(m, AdaptMode::kFull);
+  EXPECT_TRUE(parse_adapt_mode("copies", &m));
+  EXPECT_EQ(m, AdaptMode::kCopies);
+  EXPECT_TRUE(parse_adapt_mode("off", &m));
+  EXPECT_EQ(m, AdaptMode::kOff);
+  EXPECT_FALSE(parse_adapt_mode("", &m));
+  EXPECT_FALSE(parse_adapt_mode("Copies", &m));
+  EXPECT_FALSE(parse_adapt_mode("on", &m));
+}
+
+// With ewma_alpha = 1 the estimate equals the last batch exactly, so drift
+// can be pinned to a precise total-variation value: 3-of-4 probes on cluster
+// 0 against a uniform 2-cluster baseline gives TV((0.75,0.25),(0.5,0.5)) =
+// 0.25 bit-for-bit (both values are dyadic).
+std::unique_ptr<AdaptiveController> pinned_quarter_drift(AdaptiveOptions o) {
+  o.ewma_alpha = 1.0;
+  auto ctl = std::make_unique<AdaptiveController>(2, o);
+  ctl->set_baseline({0.5, 0.5});
+  ctl->observe_batch({{0u}, {0u}, {0u}, {1u}});
+  return ctl;
+}
+
+TEST(Adaptive, DriftExactlyAtMajorThresholdRelocates) {
+  AdaptiveOptions opts;
+  opts.major_threshold = 0.25;  // == the pinned drift: boundary inclusive
+  const auto ctl = pinned_quarter_drift(opts);
+  EXPECT_DOUBLE_EQ(ctl->drift(), 0.25);
+  const auto rec = ctl->recommend({100, 100}, {1, 1}, 100.0);
+  EXPECT_EQ(rec.action, AdaptAction::kRelocate);
+}
+
+TEST(Adaptive, DriftExactlyAtMinorThresholdAdjustsCopies) {
+  AdaptiveOptions opts;
+  opts.minor_threshold = 0.25;  // == the pinned drift: boundary inclusive
+  opts.major_threshold = 0.9;
+  opts.copy_change_fraction = 2.0;  // never trigger via the change count
+  const auto ctl = pinned_quarter_drift(opts);
+  // w_bar = 100 keeps every want-count at its current 1 replica, so the
+  // decision rests on the drift comparison alone.
+  const auto rec = ctl->recommend({100, 100}, {1, 1}, 100.0);
+  EXPECT_EQ(rec.action, AdaptAction::kAdjustCopies);
+}
+
+TEST(Adaptive, DriftJustBelowMinorThresholdDoesNothing) {
+  AdaptiveOptions opts;
+  opts.minor_threshold = 0.25 + 1e-9;
+  opts.major_threshold = 0.9;
+  opts.copy_change_fraction = 2.0;
+  const auto ctl = pinned_quarter_drift(opts);
+  const auto rec = ctl->recommend({100, 100}, {1, 1}, 100.0);
+  EXPECT_EQ(rec.action, AdaptAction::kNone);
+  EXPECT_TRUE(rec.adjustments.empty());
+}
+
+TEST(Adaptive, MajorDriftDegradesToCopiesWhenRelocateDisallowed) {
+  AdaptiveOptions opts;
+  opts.major_threshold = 0.2;  // well below the pinned 0.25 drift
+  const auto ctl = pinned_quarter_drift(opts);
+  const auto rec = ctl->recommend({100, 100}, {1, 1}, 100.0,
+                                  /*allow_relocate=*/false);
+  EXPECT_EQ(rec.action, AdaptAction::kAdjustCopies);
+}
+
+TEST(Adaptive, WindowMeanRollsOffStaleBatches) {
+  AdaptiveOptions opts;
+  opts.window_batches = 4;
+  AdaptiveController ctl(4, opts);
+  ctl.set_baseline({0.25, 0.25, 0.25, 0.25});
+  // Four all-hot batches, then four uniform ones: the hot phase must have
+  // rolled out of the window entirely.
+  for (int i = 0; i < 4; ++i) ctl.observe_batch({{0u}, {0u}, {0u}, {0u}});
+  EXPECT_DOUBLE_EQ(ctl.window_mean()[0], 1.0);
+  for (int i = 0; i < 4; ++i) ctl.observe_batch({{0u}, {1u}, {2u}, {3u}});
+  const auto mean = ctl.window_mean();
+  for (double v : mean) EXPECT_DOUBLE_EQ(v, 0.25);
+  // The long-memory EWMA still remembers the hot phase — that split is what
+  // lets drift detection and replica sizing disagree.
+  EXPECT_GT(ctl.estimate()[0], 0.25);
+}
+
+TEST(Adaptive, WindowMeanFallsBackToEstimateWhenEmpty) {
+  AdaptiveController ctl(4);
+  ctl.set_baseline({0.4, 0.3, 0.2, 0.1});
+  EXPECT_EQ(ctl.window_mean(), ctl.estimate());
+}
+
+TEST(Adaptive, CopyChangeFractionAloneTriggersAdjustment) {
+  AdaptiveOptions opts;
+  opts.ewma_alpha = 0.0;        // estimate frozen at baseline: drift stays 0
+  opts.minor_threshold = 0.5;   // unreachable via drift
+  opts.major_threshold = 0.9;
+  opts.copy_change_fraction = 0.5;
+  AdaptiveController ctl(4, opts);
+  ctl.set_baseline({0.25, 0.25, 0.25, 0.25});
+  ctl.observe_batch({{0u}, {0u}, {0u}, {0u}});  // window mean: (1,0,0,0)
+  EXPECT_DOUBLE_EQ(ctl.drift(), 0.0);
+  // Cluster 0 wants ceil(100*1.0/50) = 2 (has 1); cluster 1 wants 1 (has
+  // 2): 2 of 4 clusters change — exactly the 0.5 fraction, boundary
+  // inclusive.
+  const auto rec = ctl.recommend({100, 100, 100, 100}, {1, 2, 1, 1}, 50.0);
+  EXPECT_EQ(rec.action, AdaptAction::kAdjustCopies);
+  ASSERT_EQ(rec.adjustments.size(), 2u);
+  EXPECT_EQ(rec.adjustments[0].cluster, 0u);
+  EXPECT_EQ(rec.adjustments[0].delta, 1);
+  EXPECT_EQ(rec.adjustments[1].cluster, 1u);
+  EXPECT_EQ(rec.adjustments[1].delta, -1);
+
+  // One change out of four stays below the fraction: no action, and the
+  // tentative adjustment list must not leak out.
+  const auto quiet = ctl.recommend({100, 100, 100, 100}, {1, 1, 1, 1}, 50.0);
+  EXPECT_EQ(quiet.action, AdaptAction::kNone);
+  EXPECT_TRUE(quiet.adjustments.empty());
+}
+
+TEST(Adaptive, RecommendIsDeterministic) {
+  AdaptiveOptions opts;
+  opts.minor_threshold = 0.05;
+  AdaptiveController ctl(8, opts);
+  ctl.set_baseline(std::vector<double>(8, 0.125));
+  for (int i = 0; i < 6; ++i) ctl.observe_batch(batch_hitting(2, 8, 64));
+  const std::vector<std::size_t> sizes(8, 1000);
+  const std::vector<std::size_t> copies(8, 1);
+  const auto a = ctl.recommend(sizes, copies, 150.0);
+  const auto b = ctl.recommend(sizes, copies, 150.0);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.drift, b.drift);
+  ASSERT_EQ(a.adjustments.size(), b.adjustments.size());
+  for (std::size_t i = 0; i < a.adjustments.size(); ++i) {
+    EXPECT_EQ(a.adjustments[i].cluster, b.adjustments[i].cluster);
+    EXPECT_EQ(a.adjustments[i].delta, b.adjustments[i].delta);
+    if (i > 0) {
+      // Sorted by cluster id: apply order never depends on map iteration.
+      EXPECT_LT(a.adjustments[i - 1].cluster, a.adjustments[i].cluster);
+    }
+  }
+}
+
+TEST(Adaptive, BusyBalanceTracksEwma) {
+  AdaptiveOptions opts;
+  opts.ewma_alpha = 0.5;
+  AdaptiveController ctl(4, opts);
+  EXPECT_DOUBLE_EQ(ctl.busy_balance(), 0.0);  // nothing observed yet
+  ctl.observe_busy({2, 2, 2, 2});             // first sample binds directly
+  EXPECT_DOUBLE_EQ(ctl.busy_balance(), 1.0);
+  ctl.observe_busy({9, 1, 1, 1});  // ratio 3.0 -> 0.5*1.0 + 0.5*3.0
+  EXPECT_DOUBLE_EQ(ctl.busy_balance(), 2.0);
+  ctl.observe_busy({0, 0, 0, 0});  // all-idle batch reads as ratio 0
+  EXPECT_DOUBLE_EQ(ctl.busy_balance(), 1.0);
 }
 
 }  // namespace

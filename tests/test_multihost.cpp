@@ -7,6 +7,7 @@
 #include "core/backend.hpp"
 #include "core/pipeline.hpp"
 #include "data/query_workload.hpp"
+#include "obs/report_json.hpp"
 
 namespace upanns::core {
 namespace {
@@ -313,6 +314,92 @@ TEST(MultiHostPipeline, EmptyBatchListIsANoOp) {
   EXPECT_EQ(run.n_queries, 0u);
   EXPECT_DOUBLE_EQ(run.elapsed_seconds, 0.0);
   EXPECT_DOUBLE_EQ(run.qps, 0.0);
+}
+
+std::vector<data::Dataset> multihost_drift_batches(Fixture& f) {
+  data::WorkloadSpec calm;
+  calm.n_queries = 24;
+  calm.seed = 6;
+  data::WorkloadSpec hot = calm;
+  hot.seed = 9;
+  hot.popularity_shift = 16;
+  auto batches = split_batches(data::generate_workload(f.base, calm).queries, 8);
+  for (auto& b :
+       split_batches(data::generate_workload(f.base, hot).queries, 8)) {
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+TEST(MultiHostPipeline, QuietAdaptIsByteIdentical) {
+  // Per-host controllers that never fire must leave the fleet report —
+  // timings, neighbors, the serialized JSON — byte-identical to adapt-off.
+  auto& f = fixture();
+  const auto batches = multihost_drift_batches(f);
+
+  MultiHostUpAnns off_mh(f.index, f.stats, f.opts(2));
+  MultiHostBatchPipeline off(off_mh, {.overlap = true});
+  const auto off_run = off.run(batches);
+
+  MultiHostUpAnns quiet_mh(f.index, f.stats, f.opts(2));
+  MultiHostBatchPipeline quiet(quiet_mh,
+                               {.overlap = true,
+                                .adapt = AdaptMode::kCopies,
+                                .adaptive = {.minor_threshold = 2.0,
+                                             .major_threshold = 2.0,
+                                             .copy_change_fraction = 2.0}});
+  const auto quiet_run = quiet.run(batches);
+
+  EXPECT_EQ(obs::multi_host_pipeline_json(off_run),
+            obs::multi_host_pipeline_json(quiet_run));
+  for (const auto& slot : quiet_run.slots) {
+    EXPECT_EQ(slot.adapt_action, AdaptAction::kNone);
+    EXPECT_DOUBLE_EQ(slot.adapt_seconds, 0.0);
+  }
+}
+
+TEST(MultiHostPipeline, AdaptFiresAndPreservesNeighbors) {
+  auto& f = fixture();
+  const auto batches = multihost_drift_batches(f);
+
+  MultiHostUpAnns off_mh(f.index, f.stats, f.opts(2));
+  MultiHostBatchPipeline off(off_mh, {.overlap = true});
+  const auto off_run = off.run(batches);
+
+  MultiHostUpAnns on_mh(f.index, f.stats, f.opts(2));
+  MultiHostBatchPipeline on(on_mh,
+                            {.overlap = true,
+                             .adapt = AdaptMode::kCopies,
+                             .adaptive = {.window_batches = 2,
+                                          .minor_threshold = 0.01,
+                                          .copy_change_fraction = 0.01}});
+  const auto on_run = on.run(batches);
+
+  std::size_t fired = 0;
+  for (const auto& slot : on_run.slots) {
+    if (slot.adapt_action != AdaptAction::kNone) ++fired;
+  }
+  EXPECT_GE(fired, 1u);
+
+  // Replica churn on any host must never change what the fleet retrieves.
+  ASSERT_EQ(on_run.slots.size(), off_run.slots.size());
+  double serial = 0;
+  for (std::size_t i = 0; i < on_run.slots.size(); ++i) {
+    const auto& a = on_run.slots[i].report.neighbors;
+    const auto& b = off_run.slots[i].report.neighbors;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+      EXPECT_EQ(a[q], b[q]) << "batch " << i << " query " << q;
+    }
+    const auto& slot = on_run.slots[i];
+    // Adapt work rides in the device phase, like the mutation patch.
+    EXPECT_NEAR(slot.device_seconds,
+                slot.report.slowest_host_seconds + slot.patch_seconds +
+                    slot.adapt_seconds,
+                1e-12);
+    serial += slot.report.seconds + slot.patch_seconds + slot.adapt_seconds;
+  }
+  EXPECT_NEAR(on_run.serial_seconds, serial, 1e-12);
 }
 
 TEST(MultiHostBackend, ServesThroughCommonInterface) {

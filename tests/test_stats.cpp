@@ -60,6 +60,18 @@ TEST(MaxOverMean, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(max_over_mean({}), 0.0);
 }
 
+TEST(MaxOverMean, AllZeroIsZeroNotNan) {
+  // A batch where no DPU ran at all (zero mean) must not divide by zero:
+  // the pipeline feeds raw busy-seconds vectors straight in.
+  EXPECT_DOUBLE_EQ(max_over_mean({0, 0, 0, 0}), 0.0);
+}
+
+TEST(MaxOverMean, IdleMembersCountTowardTheMean) {
+  // Idle-but-present entries drag the mean down and must not be dropped:
+  // one busy DPU out of four is a 4x imbalance, not a balanced 1.0.
+  EXPECT_NEAR(max_over_mean({8, 0, 0, 0}), 4.0, 1e-12);
+}
+
 TEST(LinearFit, ExactLine) {
   const LinearFit f = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});
   EXPECT_NEAR(f.slope, 2.0, 1e-12);
